@@ -1,0 +1,89 @@
+// Figure 9 — multi-level SLP vs Gr* details (workload set #1):
+//   9(a) bandwidth per workload under the tight and loose latency settings;
+//   9(b) broker-load five-number summaries on (IS:L, BI:H).
+//
+// Expected shape (paper): Gr* often edges out SLP on bandwidth, but under
+// the tight setting Gr* cannot satisfy the load constraints (>10% of
+// brokers overloaded) while SLP does.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace slp;
+  using namespace slp::bench;
+
+  const int subs = EnvInt("SLP_SUBS", 3000);
+  const int brokers = EnvInt("SLP_BROKERS", 60);
+  const int out_degree = EnvInt("SLP_OUT_DEGREE", 15);
+  const uint64_t seed = EnvSeed();
+
+  // β calibrated to the minimum achievable lbf, as the paper does (see
+  // bench_fig8_multilevel.cc).
+  core::SaConfig tight;
+  tight.max_delay = 0.2;
+  core::SaConfig loose;
+  loose.max_delay = 1.0;
+  for (core::SaConfig* config : {&tight, &loose}) {
+    wl::Workload w = wl::GenerateGoogleGroupsVariant(
+        wl::Level::kHigh, wl::Level::kLow, subs, brokers, seed);
+    core::SaProblem probe =
+        MakeMultiLevelProblem(std::move(w), *config, out_degree, seed);
+    const double floor_lbf = std::max(1.0, MinAchievableLbf(probe, seed));
+    config->beta = 1.2 * floor_lbf;
+    config->beta_max = 1.4 * floor_lbf;
+    std::printf("[calibration] maxdelay=%.1f: min lbf=%.2f -> beta=%.2f, "
+                "beta_max=%.2f\n",
+                config->max_delay, floor_lbf, config->beta, config->beta_max);
+  }
+
+  PrintHeader("Figure 9(a): multi-level bandwidth, SLP vs Gr*, tight vs "
+              "loose latency (set #1); " + std::to_string(subs) +
+              " subscribers, " + std::to_string(brokers) + " brokers");
+  std::printf("%-14s %12s %12s %12s %12s\n", "workload", "SLP(tight)",
+              "Gr*(tight)", "SLP(loose)", "Gr*(loose)");
+  for (const auto& [wname, levels] : Set1Variants()) {
+    double bw[4];
+    int idx = 0;
+    for (const core::SaConfig& config : {tight, loose}) {
+      wl::Workload w = wl::GenerateGoogleGroupsVariant(
+          levels.first, levels.second, subs, brokers, seed);
+      core::SaProblem problem =
+          MakeMultiLevelProblem(std::move(w), config, out_degree, seed);
+      bw[idx++] =
+          RunAlgorithm("SLP", &RunSlpAdapter, problem, seed).metrics.total_bandwidth;
+      bw[idx++] =
+          RunAlgorithm("Gr*", &core::RunGrStar, problem, seed).metrics.total_bandwidth;
+    }
+    std::printf("%-14s %12.4f %12.4f %12.4f %12.4f\n", wname.c_str(), bw[0],
+                bw[1], bw[2], bw[3]);
+  }
+
+  PrintHeader("Figure 9(b): broker loads on (IS:L, BI:H), tight vs loose");
+  std::printf("%-16s %6s %6s %8s %6s %6s %6s %9s\n", "setting/algorithm",
+              "min", "q1", "median", "q3", "max", "lbf", "overload%");
+  for (const auto& [sname, config] :
+       std::vector<std::pair<const char*, core::SaConfig>>{{"tight", tight},
+                                                           {"loose", loose}}) {
+    wl::Workload w = wl::GenerateGoogleGroupsVariant(
+        wl::Level::kLow, wl::Level::kHigh, subs, brokers, seed);
+    core::SaProblem problem =
+        MakeMultiLevelProblem(std::move(w), config, out_degree, seed);
+    for (const auto& [name, algo] :
+         std::vector<std::pair<const char*, Algorithm>>{
+             {"SLP", &RunSlpAdapter}, {"Gr*", &core::RunGrStar}}) {
+      RunResult r = RunAlgorithm(name, algo, problem, seed);
+      const core::LoadSummary s = core::SummarizeLoads(r.metrics.loads);
+      const double m = problem.num_subscribers();
+      int overloaded = 0;
+      for (size_t i = 0; i < r.metrics.loads.size(); ++i) {
+        const double cap =
+            config.beta_max * problem.capacity_fraction(static_cast<int>(i)) * m;
+        overloaded += (r.metrics.loads[i] > cap + 1e-9);
+      }
+      std::printf("%-8s %-7s %6d %6d %8d %6d %6d %6.2f %8.1f%%\n", sname,
+                  name, s.min, s.q1, s.median, s.q3, s.max, r.metrics.lbf,
+                  100.0 * overloaded / r.metrics.loads.size());
+    }
+  }
+  return 0;
+}

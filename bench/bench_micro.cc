@@ -1,0 +1,116 @@
+// Micro-benchmarks for the substrates (google-benchmark): simplex, Dinic
+// max-flow, union volume, candidate filter generation, k-means. These are
+// not paper figures; they document the cost of the building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/core/candidates.h"
+#include "src/core/filter_gen.h"
+#include "src/flow/max_flow.h"
+#include "src/geometry/clustering.h"
+#include "src/geometry/filter.h"
+#include "src/lp/simplex.h"
+#include "src/network/tree_builder.h"
+#include "src/workload/googlegroups.h"
+
+namespace {
+
+using namespace slp;
+
+void BM_SimplexAssignmentLp(benchmark::State& state) {
+  // A covering/packing LP shaped like LPRelax: n items, t targets.
+  const int items = static_cast<int>(state.range(0));
+  const int targets = 10;
+  Rng rng(1);
+  lp::LpProblem p;
+  std::vector<std::vector<int>> x(items);
+  for (int i = 0; i < items; ++i) {
+    for (int t = 0; t < targets; ++t) {
+      x[i].push_back(p.AddVariable(rng.Uniform(0, 1), 0, 1));
+    }
+  }
+  for (int i = 0; i < items; ++i) {
+    int row = p.AddConstraint(lp::Sense::kGreaterEqual, 1);
+    for (int t = 0; t < targets; ++t) p.AddEntry(row, x[i][t], 1);
+  }
+  for (int t = 0; t < targets; ++t) {
+    int row = p.AddConstraint(lp::Sense::kLessEqual, 1.5 * items / targets);
+    for (int i = 0; i < items; ++i) p.AddEntry(row, x[i][t], 1);
+  }
+  for (auto _ : state) {
+    auto sol = lp::SimplexSolver().Solve(p);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexAssignmentLp)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_DinicBipartite(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  const int brokers = 50;
+  Rng rng(2);
+  for (auto _ : state) {
+    flow::MaxFlow mf(2 + brokers + subs);
+    for (int b = 0; b < brokers; ++b) {
+      mf.AddEdge(0, 2 + b, subs / brokers + 2);
+    }
+    for (int j = 0; j < subs; ++j) {
+      mf.AddEdge(2 + brokers + j, 1, 1);
+      for (int e = 0; e < 5; ++e) {
+        mf.AddEdge(2 + rng.UniformInt(0, brokers - 1), 2 + brokers + j, 1);
+      }
+    }
+    benchmark::DoNotOptimize(mf.Solve(0, 1));
+  }
+}
+BENCHMARK(BM_DinicBipartite)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_UnionVolume(benchmark::State& state) {
+  const int rects = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<geo::Rectangle> rs;
+  for (int i = 0; i < rects; ++i) {
+    double x = rng.Uniform(0, 0.8), y = rng.Uniform(0, 0.8);
+    rs.push_back(geo::Rectangle({x, y}, {x + 0.2, y + 0.2}));
+  }
+  geo::Filter f(rs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.UnionVolume());
+  }
+}
+BENCHMARK(BM_UnionVolume)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_FilterGen(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(
+      wl::Level::kHigh, wl::Level::kLow, subs, 20, 4);
+  net::BrokerTree tree = net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  core::SaProblem p(std::move(tree), std::move(w.subscribers),
+                    core::SaConfig{});
+  Rng rng(4);
+  for (auto _ : state) {
+    auto rects =
+        core::FilterGen(p, core::AllSubscribers(p), 20, {}, rng);
+    benchmark::DoNotOptimize(rects.size());
+  }
+}
+BENCHMARK(BM_FilterGen)->Arg(200)->Arg(1000);
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1),
+                   rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (auto _ : state) {
+    auto r = geo::KMeans(pts, 20, rng);
+    benchmark::DoNotOptimize(r.centers.size());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Auction alerts: the paper's motivating scenario (Section I) — an
+// eBay-style alert service where each subscription is a predicate over
+// event attributes, e.g. "antique auctions with seller rating above 90%
+// and starting bid between $100 and $200".
+//
+// The event space is (starting bid, seller rating), normalized to [0,1]^2.
+// Subscriber demand clusters around bargain-hunting patterns; brokers sit
+// in three metro regions. The example assigns subscribers with Gr* and
+// prints, per broker, the filter a broker would install upstream — i.e.,
+// which slice of the auction stream it needs to receive.
+
+#include <cstdio>
+
+#include "src/core/assignment.h"
+#include "src/core/greedy.h"
+#include "src/core/metrics.h"
+#include "src/network/tree_builder.h"
+#include "src/workload/workload.h"
+
+int main() {
+  using namespace slp;
+
+  Rng rng(11);
+
+  // Brokers in three metro regions of the network space (R^3 here).
+  std::vector<geo::Point> broker_locs;
+  const std::vector<geo::Point> metros = {{0, 0, 0}, {4, 1, 0}, {2, 4, 1}};
+  for (const geo::Point& metro : metros) {
+    for (int i = 0; i < 3; ++i) {
+      geo::Point p = metro;
+      for (double& c : p) c += rng.Gaussian(0, 0.2);
+      broker_locs.push_back(p);
+    }
+  }
+  geo::Point publisher = {2, 1.5, 0.3};  // the auction site's origin
+
+  // Subscribers: three behavioral archetypes.
+  //   bid in [0,1] ~ dollars (normalized), rating in [0,1].
+  std::vector<wl::Subscriber> subs;
+  const int kPerMetro = 400;
+  for (const geo::Point& metro : metros) {
+    for (int i = 0; i < kPerMetro; ++i) {
+      wl::Subscriber s;
+      s.location = metro;
+      for (double& c : s.location) c += rng.Gaussian(0, 0.25);
+      const double archetype = rng.Uniform(0, 1);
+      double bid_lo, bid_hi, rating_lo;
+      if (archetype < 0.5) {
+        // Bargain hunters: low bids, any decent seller.
+        bid_lo = rng.Uniform(0.0, 0.1);
+        bid_hi = bid_lo + rng.Uniform(0.05, 0.15);
+        rating_lo = rng.Uniform(0.5, 0.7);
+      } else if (archetype < 0.85) {
+        // Mid-market: the paper's $100-$200, rating > 90%.
+        bid_lo = rng.Uniform(0.3, 0.4);
+        bid_hi = bid_lo + rng.Uniform(0.1, 0.2);
+        rating_lo = rng.Uniform(0.88, 0.92);
+      } else {
+        // Collectors: high-value items, top sellers only.
+        bid_lo = rng.Uniform(0.7, 0.8);
+        bid_hi = 1.0;
+        rating_lo = rng.Uniform(0.95, 0.98);
+      }
+      s.subscription = geo::Rectangle({bid_lo, rating_lo}, {bid_hi, 1.0});
+      subs.push_back(std::move(s));
+    }
+  }
+
+  net::BrokerTree tree = net::BuildOneLevelTree(publisher, broker_locs);
+  core::SaConfig config;
+  config.alpha = 2;       // at most 2 rectangles per broker filter
+  config.max_delay = 0.4;
+  core::SaProblem problem(std::move(tree), std::move(subs), config);
+
+  core::SaSolution solution = core::RunGrStar(problem, rng);
+  const Status st = ValidateSolution(problem, solution);
+  const core::SolutionMetrics m = core::ComputeMetrics(problem, solution);
+
+  std::printf("auction alert deployment: %d subscribers, %d brokers\n",
+              problem.num_subscribers(), problem.num_leaves());
+  std::printf("assignment: %s; total upstream bandwidth %.4f "
+              "(fraction of the full auction stream per broker, summed)\n\n",
+              st.ok() ? "valid" : st.ToString().c_str(), m.total_bandwidth);
+
+  std::printf("%-8s %6s  %s\n", "broker", "load", "installed filter "
+              "(bid x rating rectangles)");
+  for (int i = 0; i < problem.num_leaves(); ++i) {
+    const int node = problem.leaf_node(i);
+    const geo::Filter& f = solution.filters[node];
+    std::printf("B%-7d %6d  ", i, m.loads[i]);
+    for (const auto& r : f.rects()) {
+      std::printf("[%.2f,%.2f]x[%.2f,%.2f] ", r.lo(0), r.hi(0), r.lo(1),
+                  r.hi(1));
+    }
+    std::printf(" (vol %.4f)\n", f.UnionVolume());
+  }
+  std::printf(
+      "\nEach broker receives only the slice of the event stream its filter\n"
+      "describes; topically similar subscribers were steered to the same\n"
+      "brokers, so the per-broker slices stay narrow.\n");
+  return 0;
+}

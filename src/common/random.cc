@@ -1,0 +1,122 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/status.h"
+
+namespace slp {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::Exponential(double lambda) {
+  std::exponential_distribution<double> d(lambda);
+  return d(engine_);
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+ZipfSampler::ZipfSampler(int n, double exponent) {
+  SLP_CHECK(n > 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double total = 0;
+  for (int k = 0; k < n; ++k) {
+    pmf_[k] = 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    total += pmf_[k];
+  }
+  double acc = 0;
+  for (int k = 0; k < n; ++k) {
+    pmf_[k] /= total;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.Uniform(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(int k) const {
+  SLP_CHECK(k >= 0 && k < static_cast<int>(pmf_.size()));
+  return pmf_[k];
+}
+
+std::vector<int> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k, Rng& rng) {
+  const int n = static_cast<int>(weights.size());
+  if (k >= n) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Efraimidis-Spirakis: key_i = u^(1/w_i); keep the k largest keys.
+  // Equivalently keep the k smallest of -log(u)/w_i.
+  using Entry = std::pair<double, int>;  // (cost, index)
+  std::priority_queue<Entry> heap;       // max-heap on cost; keep k smallest
+  for (int i = 0; i < n; ++i) {
+    if (weights[i] <= 0) continue;
+    double u = rng.Uniform(1e-300, 1.0);
+    double cost = -std::log(u) / weights[i];
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(cost, i);
+    } else if (cost < heap.top().first) {
+      heap.pop();
+      heap.emplace(cost, i);
+    }
+  }
+  std::vector<int> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> UniformSampleWithoutReplacement(int n, int k, Rng& rng) {
+  if (k >= n) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k draws, no rejection.
+  std::vector<int> out;
+  out.reserve(k);
+  std::vector<bool> chosen(n, false);
+  for (int j = n - k; j < n; ++j) {
+    int t = static_cast<int>(rng.UniformInt(0, j));
+    if (chosen[t]) t = j;
+    chosen[t] = true;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace slp

@@ -1,0 +1,76 @@
+// Deterministic random-number utilities shared by the workload generators
+// and the randomized pieces of SLP (rounding, reweighted sampling).
+//
+// All randomness in the library flows through Rng so that experiments are
+// reproducible from a single seed.
+
+#ifndef SLP_COMMON_RANDOM_H_
+#define SLP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace slp {
+
+// A seeded pseudo-random generator with the distributions this library
+// needs. Copyable; copying forks the stream deterministically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with rate lambda.
+  double Exponential(double lambda);
+
+  // A fresh generator seeded from this one (for parallel substreams).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Samples from a Zipf distribution over ranks {0, 1, ..., n-1} with
+// exponent s: P(rank k) ∝ 1 / (k+1)^s. Precomputes the CDF once.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent);
+
+  int Sample(Rng& rng) const;
+
+  // Probability mass of rank k.
+  double Pmf(int k) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;   // cumulative, last element == 1
+  std::vector<double> pmf_;
+};
+
+// Draws `k` distinct indices from {0,...,n-1} where index i is chosen with
+// probability proportional to weights[i]. Used by the iterative reweighted
+// sampling loop of FilterAssign. If k >= n, returns all indices.
+// Implementation: exponential-keys reservoir (Efraimidis-Spirakis), O(n log k).
+std::vector<int> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k, Rng& rng);
+
+// Draws `k` distinct indices uniformly from {0,...,n-1} (all if k >= n).
+std::vector<int> UniformSampleWithoutReplacement(int n, int k, Rng& rng);
+
+}  // namespace slp
+
+#endif  // SLP_COMMON_RANDOM_H_

@@ -1,0 +1,117 @@
+// Lightweight Status / Result error-handling primitives (Arrow-style).
+//
+// The library does not throw exceptions across public API boundaries;
+// recoverable failures (e.g., an infeasible LP, an over-constrained
+// assignment) are reported through Status / Result<T>.
+
+#ifndef SLP_COMMON_STATUS_H_
+#define SLP_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace slp {
+
+// Broad failure categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // caller passed an ill-formed problem or config
+  kInfeasible,       // constraints cannot be satisfied (e.g., LP, max-flow)
+  kResourceExhausted,  // iteration/size limits exceeded
+  kInternal,         // invariant violation inside the library
+};
+
+// A success-or-error value. Cheap to copy on the success path (no
+// allocation); carries a message only on failure.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case StatusCode::kInfeasible: name = "INFEASIBLE"; break;
+      case StatusCode::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
+      case StatusCode::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value-or-error. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace internal
+
+// Hard invariant check; aborts on failure. Used for programming errors, not
+// for recoverable conditions (those return Status).
+#define SLP_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::slp::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (false)
+
+// Propagate a non-OK Status to the caller.
+#define SLP_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::slp::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+}  // namespace slp
+
+#endif  // SLP_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing helper used by the benchmark harness and the SLP
+// running-time experiment (Figure 11).
+
+#ifndef SLP_COMMON_TIMER_H_
+#define SLP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace slp {
+
+// Measures elapsed wall time in seconds since construction or Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slp
+
+#endif  // SLP_COMMON_TIMER_H_

@@ -1,0 +1,19 @@
+// Balance baseline (Section VI): the assignment with the best achievable
+// load-balance factor, found by binary search over the lbf with a max-flow
+// feasibility check (a variant of the Section IV-B construction with
+// latency-feasible edges). Ignores the event space entirely.
+
+#ifndef SLP_CORE_BALANCE_H_
+#define SLP_CORE_BALANCE_H_
+
+#include "src/common/random.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+
+namespace slp::core {
+
+SaSolution RunBalance(const SaProblem& problem, Rng& rng);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_BALANCE_H_

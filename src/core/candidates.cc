@@ -1,0 +1,125 @@
+#include "src/core/candidates.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/status.h"
+
+namespace slp::core {
+
+namespace {
+
+// Sorts each row's candidates by latency ascending.
+void SortRow(std::vector<int>* cand, std::vector<double>* lat) {
+  const size_t n = cand->size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return (*lat)[a] < (*lat)[b];
+  });
+  std::vector<int> c2(n);
+  std::vector<double> l2(n);
+  for (size_t i = 0; i < n; ++i) {
+    c2[i] = (*cand)[order[i]];
+    l2[i] = (*lat)[order[i]];
+  }
+  *cand = std::move(c2);
+  *lat = std::move(l2);
+}
+
+}  // namespace
+
+std::vector<int> AllSubscribers(const SaProblem& problem) {
+  std::vector<int> all(problem.num_subscribers());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+std::vector<int> SubtreeLeaves(const net::BrokerTree& tree, int node) {
+  std::vector<int> out;
+  std::vector<int> stack = {node};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (tree.is_leaf(v)) {
+      out.push_back(v);
+    } else {
+      for (int c : tree.children(v)) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+Targets BuildLeafTargets(const SaProblem& problem,
+                         const std::vector<int>& sub_indices) {
+  const auto& tree = problem.tree();
+  const auto& leaves = tree.leaf_brokers();
+  Targets t;
+  t.count = static_cast<int>(leaves.size());
+  t.kappa.resize(t.count);
+  for (int i = 0; i < t.count; ++i) t.kappa[i] = problem.capacity_fraction(i);
+  t.total_subscribers = problem.num_subscribers();
+  t.subscribers = sub_indices;
+
+  const int rows = static_cast<int>(sub_indices.size());
+  t.candidates.resize(rows);
+  t.candidate_latency.resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    const int j = sub_indices[r];
+    const double bound = problem.latency_bound(j);
+    for (int i = 0; i < t.count; ++i) {
+      const double lat = problem.AssignmentLatency(j, leaves[i]);
+      if (lat <= bound + 1e-12) {
+        t.candidates[r].push_back(i);
+        t.candidate_latency[r].push_back(lat);
+      }
+    }
+    SortRow(&t.candidates[r], &t.candidate_latency[r]);
+    SLP_CHECK(!t.candidates[r].empty());  // Δ-achieving leaf always qualifies
+  }
+  return t;
+}
+
+Targets BuildChildTargets(const SaProblem& problem,
+                          const std::vector<int>& sub_indices, int node) {
+  const auto& tree = problem.tree();
+  const auto& children = tree.children(node);
+  SLP_CHECK(!children.empty());
+
+  Targets t;
+  t.count = static_cast<int>(children.size());
+  t.total_subscribers = problem.num_subscribers();
+  t.subscribers = sub_indices;
+  t.kappa.resize(t.count, 0.0);
+
+  std::vector<std::vector<int>> leaves_of(t.count);
+  for (int c = 0; c < t.count; ++c) {
+    leaves_of[c] = SubtreeLeaves(tree, children[c]);
+    for (int leaf : leaves_of[c]) {
+      t.kappa[c] += problem.capacity_fraction(problem.leaf_index(leaf));
+    }
+  }
+
+  const int rows = static_cast<int>(sub_indices.size());
+  t.candidates.resize(rows);
+  t.candidate_latency.resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    const int j = sub_indices[r];
+    const double bound = problem.latency_bound(j);
+    for (int c = 0; c < t.count; ++c) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int leaf : leaves_of[c]) {
+        best = std::min(best, problem.AssignmentLatency(j, leaf));
+      }
+      if (best <= bound + 1e-12) {
+        t.candidates[r].push_back(c);
+        t.candidate_latency[r].push_back(best);
+      }
+    }
+    SortRow(&t.candidates[r], &t.candidate_latency[r]);
+  }
+  return t;
+}
+
+}  // namespace slp::core

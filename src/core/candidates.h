@@ -1,0 +1,65 @@
+// Candidate assignment targets.
+//
+// SLP1 (Section IV) runs over a set of "targets" a subscriber can be routed
+// to. For a one-level run the targets are the leaf brokers; in the
+// multi-level algorithm (Section V) the targets at an internal node are its
+// child subtrees, with optimistic latency (minimum over the subtree's
+// leaves) and aggregated capacity. Targets abstracts both so FilterAssign /
+// LPRelax / the max-flow assignment are written once.
+
+#ifndef SLP_CORE_CANDIDATES_H_
+#define SLP_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "src/core/problem.h"
+
+namespace slp::core {
+
+// One SLP1 run's assignable targets for a subset of subscribers.
+// `subscribers[r]` is the problem-level subscriber index of local row r;
+// all per-subscriber vectors are indexed by the local row r.
+struct Targets {
+  int count = 0;
+  // Global capacity fraction of each target (sums to the fraction of the
+  // tree covered by this run; 1 for a root/one-level run).
+  std::vector<double> kappa;
+  // Total subscribers in the whole problem; load caps are
+  // β · kappa[t] · total_subscribers regardless of recursion depth, so the
+  // global load-balance factor is what gets enforced.
+  int total_subscribers = 0;
+
+  std::vector<int> subscribers;  // local row -> problem subscriber index
+  // Per local row: latency-feasible targets, sorted by latency ascending,
+  // with the matching latency values.
+  std::vector<std::vector<int>> candidates;
+  std::vector<std::vector<double>> candidate_latency;
+
+  // Absolute load cap of target t at load-balance factor `lbf`.
+  double AbsCap(int t, double lbf) const {
+    return lbf * kappa[t] * total_subscribers;
+  }
+};
+
+// Targets = leaf brokers; candidate lists are the latency-feasible leaves
+// (always non-empty: the Δ-achieving leaf satisfies any max_delay >= 0).
+// `sub_indices` selects the subscribers (pass all indices for a full run).
+Targets BuildLeafTargets(const SaProblem& problem,
+                         const std::vector<int>& sub_indices);
+
+// Targets = children of `node`; a child is a candidate for a subscriber if
+// the *optimistic* latency — min over the child's subtree leaves of
+// (root-path latency + last hop) — meets the subscriber's bound. kappa of a
+// child is the sum of its subtree leaves' fractions.
+Targets BuildChildTargets(const SaProblem& problem,
+                          const std::vector<int>& sub_indices, int node);
+
+// Convenience: every subscriber index of the problem.
+std::vector<int> AllSubscribers(const SaProblem& problem);
+
+// Leaf node ids in the subtree rooted at `node` (node itself if leaf).
+std::vector<int> SubtreeLeaves(const net::BrokerTree& tree, int node);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_CANDIDATES_H_

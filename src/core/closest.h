@@ -1,0 +1,26 @@
+// Network-proximity baselines (Section VI):
+//  * Closest¬b — assign every subscriber to its closest leaf broker in the
+//    network space (minimizing last-hop latency), ignoring both the event
+//    space and load balance; resembles Aguilera et al. [1].
+//  * Closest — same, but a broker that has reached the β_max load cap is
+//    dropped from further consideration.
+//
+// Both build filters after the fact (α-MEB clustering per leaf, bottom-up
+// interior filters) so bandwidth is measured on the same footing as the
+// other algorithms.
+
+#ifndef SLP_CORE_CLOSEST_H_
+#define SLP_CORE_CLOSEST_H_
+
+#include "src/common/random.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+
+namespace slp::core {
+
+SaSolution RunClosestNoBalance(const SaProblem& problem, Rng& rng);
+SaSolution RunClosest(const SaProblem& problem, Rng& rng);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_CLOSEST_H_

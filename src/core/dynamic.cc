@@ -1,0 +1,209 @@
+#include "src/core/dynamic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+#include "src/core/filter_adjust.h"
+#include "src/geometry/filter.h"
+
+namespace slp::core {
+
+DynamicAssigner::DynamicAssigner(net::BrokerTree tree, SaConfig config,
+                                 int expected_population)
+    : tree_(std::move(tree)),
+      config_(config),
+      expected_population_(expected_population) {
+  SLP_CHECK(expected_population_ > 0);
+  const auto& leaves = tree_.leaf_brokers();
+  SLP_CHECK(!leaves.empty());
+  loads_.assign(leaves.size(), 0);
+  leaf_index_.assign(tree_.num_nodes(), -1);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaf_index_[leaves[i]] = static_cast<int>(i);
+  }
+  filters_.resize(tree_.num_nodes());
+  paths_.resize(tree_.num_nodes());
+  for (int leaf : leaves) {
+    auto path = tree_.PathFromRoot(leaf);
+    paths_[leaf].assign(path.begin() + 1, path.end());
+  }
+}
+
+double DynamicAssigner::Cap(int leaf_idx, double lbf) const {
+  // Equal capacity fractions; caps scale with the expected population.
+  (void)leaf_idx;  // per-leaf fractions are uniform in the dynamic setting
+  return lbf * expected_population_ /
+         static_cast<double>(loads_.size());
+}
+
+int DynamicAssigner::PlaceOnline(const wl::Subscriber& s) {
+  const double bound =
+      (1.0 + config_.max_delay) * tree_.ShortestLatency(s.location);
+  auto latency_ok = [&](int leaf) {
+    return tree_.LatencyVia(leaf, s.location) <= bound + 1e-12;
+  };
+  auto incorporation_cost = [&](int leaf) {
+    double cost = 0;
+    for (int v : paths_[leaf]) {
+      const auto& rects = filters_[v];
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& r : rects) {
+        best = std::min(best, r.EnlargementTo(s.subscription));
+      }
+      if (static_cast<int>(rects.size()) < config_.alpha) {
+        best = std::min(best, s.subscription.Volume());
+      }
+      cost += best;
+    }
+    return cost;
+  };
+
+  for (double lbf : {config_.beta, config_.beta_max,
+                     std::numeric_limits<double>::infinity()}) {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int leaf : tree_.leaf_brokers()) {
+      if (!latency_ok(leaf)) continue;
+      const int idx = leaf_index_[leaf];
+      if (std::isfinite(lbf) && loads_[idx] + 1 > Cap(idx, lbf) + 1e-9) {
+        continue;
+      }
+      const double cost = incorporation_cost(leaf);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = leaf;
+      }
+    }
+    if (best >= 0) return best;
+  }
+  SLP_CHECK(false);  // Δ-achieving leaf is always latency-feasible
+  return -1;
+}
+
+int DynamicAssigner::Add(const wl::Subscriber& subscriber) {
+  const int leaf = PlaceOnline(subscriber);
+  // Grow filters along the path, R-tree style.
+  for (int v : paths_[leaf]) {
+    auto& rects = filters_[v];
+    double best = std::numeric_limits<double>::infinity();
+    int arg = -1;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      const double c = rects[i].EnlargementTo(subscriber.subscription);
+      if (c < best) {
+        best = c;
+        arg = static_cast<int>(i);
+      }
+    }
+    if (static_cast<int>(rects.size()) < config_.alpha &&
+        subscriber.subscription.Volume() < best) {
+      rects.push_back(subscriber.subscription);
+    } else {
+      SLP_CHECK(arg >= 0);
+      rects[arg].Enclose(subscriber.subscription);
+    }
+  }
+  ++loads_[leaf_index_[leaf]];
+  ++live_count_;
+
+  Slot slot;
+  slot.subscriber = subscriber;
+  slot.leaf = leaf;
+  slot.live = true;
+  // Reuse a free slot if available.
+  for (size_t h = 0; h < slots_.size(); ++h) {
+    if (!slots_[h].live) {
+      slots_[h] = std::move(slot);
+      return static_cast<int>(h);
+    }
+  }
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void DynamicAssigner::Remove(int handle) {
+  SLP_CHECK(handle >= 0 && handle < static_cast<int>(slots_.size()));
+  Slot& slot = slots_[handle];
+  SLP_CHECK(slot.live);
+  slot.live = false;
+  --loads_[leaf_index_[slot.leaf]];
+  --live_count_;
+  // Filters intentionally stay: shrinking online could uncover remaining
+  // subscribers. Staleness is reclaimed by Reoptimize().
+}
+
+double DynamicAssigner::CurrentBandwidth() const {
+  double total = 0;
+  for (int v = 1; v < tree_.num_nodes(); ++v) {
+    total += geo::Filter(filters_[v]).UnionVolume();
+  }
+  return total;
+}
+
+double DynamicAssigner::TightBandwidth(Rng& rng) const {
+  if (live_count_ == 0) return 0;
+  auto [problem, solution] = Snapshot();
+  SaSolution tight = solution;
+  for (auto& f : tight.filters) f.Clear();
+  AdjustLeafFilters(problem, &tight, rng);
+  BuildInternalFilters(problem, &tight, rng);
+  double total = 0;
+  for (int v = 1; v < problem.tree().num_nodes(); ++v) {
+    total += tight.filters[v].UnionVolume();
+  }
+  return total;
+}
+
+void DynamicAssigner::Reoptimize(
+    const std::function<SaSolution(const SaProblem&, Rng&)>& algorithm,
+    Rng& rng) {
+  if (live_count_ == 0) {
+    for (auto& f : filters_) f.clear();
+    return;
+  }
+  auto [problem, solution] = Snapshot();
+  const SaSolution fresh = algorithm(problem, rng);
+
+  // Install the fresh state back into the live slots.
+  std::fill(loads_.begin(), loads_.end(), 0);
+  int row = 0;
+  for (auto& slot : slots_) {
+    if (!slot.live) continue;
+    slot.leaf = fresh.assignment[row++];
+    ++loads_[leaf_index_[slot.leaf]];
+  }
+  for (int v = 0; v < tree_.num_nodes(); ++v) {
+    filters_[v].assign(fresh.filters[v].rects().begin(),
+                       fresh.filters[v].rects().end());
+  }
+}
+
+std::pair<SaProblem, SaSolution> DynamicAssigner::Snapshot() const {
+  SLP_CHECK(live_count_ > 0);
+  std::vector<wl::Subscriber> subs;
+  std::vector<int> assignment;
+  subs.reserve(live_count_);
+  for (const Slot& slot : slots_) {
+    if (!slot.live) continue;
+    subs.push_back(slot.subscriber);
+    assignment.push_back(slot.leaf);
+  }
+  // Copy the tree via re-adding nodes (BrokerTree is append-only).
+  net::BrokerTree tree_copy(tree_.location(net::BrokerTree::kPublisher));
+  for (int v = 1; v < tree_.num_nodes(); ++v) {
+    tree_copy.AddBroker(tree_.location(v), tree_.parent(v));
+  }
+  tree_copy.Finalize();
+  SaProblem problem(std::move(tree_copy), std::move(subs), config_);
+
+  SaSolution solution;
+  solution.algorithm = "Dynamic";
+  solution.assignment = std::move(assignment);
+  solution.filters.reserve(tree_.num_nodes());
+  for (int v = 0; v < tree_.num_nodes(); ++v) {
+    solution.filters.emplace_back(filters_[v]);
+  }
+  return {std::move(problem), std::move(solution)};
+}
+
+}  // namespace slp::core

@@ -1,0 +1,95 @@
+// Dynamic subscriber assignment (the paper's first future-work direction,
+// Section VIII): subscriptions come and go at runtime.
+//
+// DynamicAssigner maintains a live deployment with the paper's intended
+// division of labor:
+//  * arrivals are placed online with the Gr rule — least filter enlargement
+//    along the publisher-to-broker path among latency-feasible,
+//    non-overloaded leaves;
+//  * departures release capacity immediately but leave filters stale
+//    (rectangles cannot shrink online without risking false negatives for
+//    the remaining subscribers);
+//  * the accumulated staleness (fraction of filter volume no live
+//    subscription needs) is tracked, and Reoptimize() rebuilds the
+//    deployment offline — the paper's "initial subscriber assignment and
+//    periodical re-optimization" use case for SLP/Gr*.
+
+#ifndef SLP_CORE_DYNAMIC_H_
+#define SLP_CORE_DYNAMIC_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+#include "src/network/broker_tree.h"
+#include "src/workload/workload.h"
+
+namespace slp::core {
+
+class DynamicAssigner {
+ public:
+  // `expected_population` scales the per-broker load caps (β κ_i m); the
+  // live population may drift around it between reoptimizations.
+  DynamicAssigner(net::BrokerTree tree, SaConfig config,
+                  int expected_population);
+
+  // Adds a subscriber and assigns it online. Returns a handle for removal.
+  int Add(const wl::Subscriber& subscriber);
+
+  // Removes a previously added subscriber. Filters stay as they are
+  // (stale but safe).
+  void Remove(int handle);
+
+  int live_count() const { return live_count_; }
+
+  // Leaf loads by leaf index.
+  const std::vector<int>& loads() const { return loads_; }
+
+  // Σ_i Vol(f_i) over all brokers with the current (possibly stale)
+  // filters.
+  double CurrentBandwidth() const;
+
+  // Σ_i Vol(f'_i) if every filter were rebuilt tightly from the live
+  // subscriptions (the reoptimization headroom). Uses ≤α MEB clustering.
+  double TightBandwidth(Rng& rng) const;
+
+  // Rebuilds the deployment offline from the live subscribers using the
+  // supplied algorithm (e.g., RunGrStar, or an SLP1 adapter) and installs
+  // the fresh assignment and filters. Live handles remain valid.
+  void Reoptimize(
+      const std::function<SaSolution(const SaProblem&, Rng&)>& algorithm,
+      Rng& rng);
+
+  // Materializes the current state as an (problem, solution) pair for
+  // metrics/validation. Only live subscribers are included.
+  std::pair<SaProblem, SaSolution> Snapshot() const;
+
+ private:
+  struct Slot {
+    wl::Subscriber subscriber;
+    int leaf = -1;  // assigned leaf node; -1 when the slot is free
+    bool live = false;
+  };
+
+  double Cap(int leaf_idx, double lbf) const;
+  // Gr-style online placement. Returns the chosen leaf node.
+  int PlaceOnline(const wl::Subscriber& s);
+
+  net::BrokerTree tree_;
+  SaConfig config_;
+  int expected_population_;
+
+  std::vector<Slot> slots_;
+  int live_count_ = 0;
+  std::vector<int> loads_;                       // by leaf index
+  std::vector<int> leaf_index_;                  // node id -> leaf index
+  std::vector<std::vector<geo::Rectangle>> filters_;  // by node id
+  std::vector<std::vector<int>> paths_;          // leaf node -> path
+};
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_DYNAMIC_H_

@@ -1,0 +1,124 @@
+#include "src/core/filter_adjust.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+#include "src/geometry/clustering.h"
+
+namespace slp::core {
+
+geo::Filter CoverWithAlphaMebs(const std::vector<geo::Rectangle>& rects,
+                               int alpha, Rng& rng) {
+  SLP_CHECK(alpha >= 1);
+  if (rects.empty()) return geo::Filter();
+  if (static_cast<int>(rects.size()) <= alpha) {
+    // Dedupe identical rectangles; no clustering needed.
+    std::vector<geo::Rectangle> unique;
+    for (const auto& r : rects) {
+      bool seen = false;
+      for (const auto& u : unique) seen = seen || (u == r);
+      if (!seen) unique.push_back(r);
+    }
+    return geo::Filter(std::move(unique));
+  }
+  std::vector<geo::Point> centers;
+  centers.reserve(rects.size());
+  for (const auto& r : rects) centers.push_back(r.Center());
+  const geo::KMeansResult km = geo::KMeans(centers, alpha, rng);
+  std::vector<std::vector<geo::Rectangle>> groups(km.num_clusters());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    groups[km.labels[i]].push_back(rects[i]);
+  }
+  std::vector<geo::Rectangle> mebs;
+  mebs.reserve(groups.size());
+  for (const auto& g : groups) {
+    if (!g.empty()) mebs.push_back(geo::Rectangle::Meb(g));
+  }
+  return geo::Filter(std::move(mebs));
+}
+
+namespace {
+
+// Candidate filter derived from a preliminary filter: route each
+// subscription to its smallest containing preliminary rectangle, shrink
+// each used rectangle to its members' MEB, then enforce the complexity cap.
+geo::Filter TightenPreliminary(const geo::Filter& preliminary,
+                               const std::vector<geo::Rectangle>& subs,
+                               int alpha, Rng& rng) {
+  const int k = preliminary.size();
+  std::vector<std::vector<geo::Rectangle>> members(k);
+  for (const auto& s : subs) {
+    int best = -1;
+    double best_vol = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < k; ++i) {
+      if (preliminary.rect(i).Contains(s) &&
+          preliminary.rect(i).Volume() < best_vol) {
+        best = i;
+        best_vol = preliminary.rect(i).Volume();
+      }
+    }
+    if (best < 0) return geo::Filter();  // preliminary does not cover subs
+    members[best].push_back(s);
+  }
+  std::vector<geo::Rectangle> shrunk;
+  for (int i = 0; i < k; ++i) {
+    if (!members[i].empty()) shrunk.push_back(geo::Rectangle::Meb(members[i]));
+  }
+  if (static_cast<int>(shrunk.size()) <= alpha) {
+    return geo::Filter(std::move(shrunk));
+  }
+  return CoverWithAlphaMebs(shrunk, alpha, rng);
+}
+
+}  // namespace
+
+void AdjustLeafFilters(const SaProblem& problem, SaSolution* solution,
+                       Rng& rng) {
+  const auto& tree = problem.tree();
+  const int alpha = problem.config().alpha;
+  // Group assigned subscriptions per leaf.
+  std::vector<std::vector<geo::Rectangle>> subs_of(tree.num_nodes());
+  for (int j = 0; j < problem.num_subscribers(); ++j) {
+    subs_of[solution->assignment[j]].push_back(
+        problem.subscriber(j).subscription);
+  }
+  if (solution->filters.empty()) {
+    solution->filters.assign(tree.num_nodes(), geo::Filter());
+  }
+  for (int leaf : tree.leaf_brokers()) {
+    const auto& subs = subs_of[leaf];
+    geo::Filter clustered = CoverWithAlphaMebs(subs, alpha, rng);
+    const geo::Filter& preliminary = solution->filters[leaf];
+    if (!preliminary.empty() && !subs.empty()) {
+      geo::Filter tightened = TightenPreliminary(preliminary, subs, alpha, rng);
+      if (!tightened.empty() &&
+          tightened.UnionVolume() < clustered.UnionVolume()) {
+        solution->filters[leaf] = std::move(tightened);
+        continue;
+      }
+    }
+    solution->filters[leaf] = std::move(clustered);
+  }
+}
+
+void BuildInternalFilters(const SaProblem& problem, SaSolution* solution,
+                          Rng& rng) {
+  const auto& tree = problem.tree();
+  const int alpha = problem.config().alpha;
+  // Children have larger ids than parents (construction order), so a
+  // reverse sweep visits children first.
+  for (int v = tree.num_nodes() - 1; v >= 1; --v) {
+    if (tree.is_leaf(v)) continue;
+    std::vector<geo::Rectangle> child_rects;
+    for (int c : tree.children(v)) {
+      for (const auto& r : solution->filters[c].rects()) {
+        child_rects.push_back(r);
+      }
+    }
+    solution->filters[v] = CoverWithAlphaMebs(child_rects, alpha, rng);
+  }
+  solution->filters[net::BrokerTree::kPublisher] = geo::Filter();
+}
+
+}  // namespace slp::core

@@ -1,0 +1,49 @@
+// Filter construction and adjustment (Section IV-C).
+//
+// Covering a set of rectangles with at most α rectangles of minimum union
+// volume is NP-hard [16]; the paper uses a clustering heuristic: group the
+// rectangles into α clusters and take the MEB of each. This module provides
+// that primitive plus the two places it is used:
+//  * AdjustFilters — SLP1's third step, which rebuilds each leaf's filter
+//    from its assigned subscriptions (tightening the preliminary filter and
+//    enforcing the complexity cap);
+//  * BuildInternalFilters — the bottom-up pass that gives interior brokers
+//    filters nesting their children's.
+
+#ifndef SLP_CORE_FILTER_ADJUST_H_
+#define SLP_CORE_FILTER_ADJUST_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+#include "src/geometry/filter.h"
+
+namespace slp::core {
+
+// Covers `rects` with at most `alpha` rectangles: k-means (k = alpha) on
+// rectangle centers, then one MEB per cluster. Returns an empty filter for
+// empty input.
+geo::Filter CoverWithAlphaMebs(const std::vector<geo::Rectangle>& rects,
+                               int alpha, Rng& rng);
+
+// Rebuilds the leaf filters of `solution` from its assignment: each leaf
+// gets CoverWithAlphaMebs of its assigned subscriptions. If the leaf
+// already has a preliminary filter, a second candidate is derived from it
+// (each subscription routed to its smallest containing preliminary
+// rectangle, rectangles shrunk to their members' MEB, then re-covered with
+// alpha MEBs if needed) and the smaller-union-volume candidate wins.
+// Non-leaf filters are left untouched.
+void AdjustLeafFilters(const SaProblem& problem, SaSolution* solution,
+                       Rng& rng);
+
+// Computes interior-broker filters bottom-up: each internal broker's filter
+// covers the union of its children's filter rectangles with at most alpha
+// MEBs. Leaf filters must already be set. The publisher keeps no filter.
+void BuildInternalFilters(const SaProblem& problem, SaSolution* solution,
+                          Rng& rng);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_FILTER_ADJUST_H_

@@ -1,0 +1,208 @@
+#include "src/core/filter_assign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/common/status.h"
+#include "src/core/filter_adjust.h"
+
+namespace slp::core {
+
+namespace {
+
+// Rows (into targets.subscribers) not covered by `filters`: no candidate
+// target's filter contains the row's subscription in a single rectangle.
+std::vector<int> Violate(const SaProblem& problem, const Targets& targets,
+                         const std::vector<geo::Filter>& filters) {
+  std::vector<int> out;
+  const int rows = static_cast<int>(targets.subscribers.size());
+  for (int r = 0; r < rows; ++r) {
+    const auto& sub = problem.subscriber(targets.subscribers[r]).subscription;
+    bool covered = false;
+    for (int t : targets.candidates[r]) {
+      if (filters[t].CoversRect(sub)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.push_back(r);
+  }
+  return out;
+}
+
+// Guarantees coverage by adding (clustered MEBs of) the uncovered
+// subscriptions to each row's nearest feasible target.
+void Complete(const SaProblem& problem, const Targets& targets,
+              const std::vector<int>& uncovered, Rng& rng,
+              std::vector<geo::Filter>* filters) {
+  std::vector<std::vector<geo::Rectangle>> extra(targets.count);
+  for (int r : uncovered) {
+    SLP_CHECK(!targets.candidates[r].empty());
+    const int t = targets.candidates[r][0];  // nearest feasible target
+    extra[t].push_back(problem.subscriber(targets.subscribers[r]).subscription);
+  }
+  for (int t = 0; t < targets.count; ++t) {
+    if (extra[t].empty()) continue;
+    const geo::Filter cover =
+        CoverWithAlphaMebs(extra[t], problem.config().alpha, rng);
+    for (const auto& rect : cover.rects()) (*filters)[t].Add(rect);
+  }
+}
+
+}  // namespace
+
+Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
+                                        const Targets& targets,
+                                        const FilterAssignOptions& options,
+                                        Rng& rng) {
+  const int rows = static_cast<int>(targets.subscribers.size());
+  SLP_CHECK(rows > 0);
+  for (int r = 0; r < rows; ++r) {
+    if (targets.candidates[r].empty()) {
+      return Status::Infeasible("subscriber with no latency-feasible target");
+    }
+  }
+
+  FilterAssignResult result;
+  // Best-so-far (fewest violations) snapshot, for budget-exhausted returns.
+  std::vector<geo::Filter> best_filters;
+  double best_fractional = 0;
+  size_t best_violations = std::numeric_limits<size_t>::max();
+
+  const int sb_size =
+      std::min(rows, std::max(1, options.sb_factor * targets.count));
+
+  std::vector<double> weights;
+  auto budget_left = [&]() {
+    return options.max_lp_calls <= 0 || result.lp_calls < options.max_lp_calls;
+  };
+
+  for (int g = options.initial_g;; g = std::min(2 * g, rows + 1)) {
+    if (g > rows + 0) {
+      // Certificate search exhausted the whole set; one final exact pass
+      // with Q = all rows (guaranteed to cover if the LP succeeds).
+      g = rows;
+    }
+    result.final_g = g;
+    weights.assign(rows, 1.0);
+    const int q = std::min(
+        rows, static_cast<int>(std::ceil(10.0 * g * std::log(std::max(g, 2)))));
+    const int stage_iters = std::max(
+        1, static_cast<int>(std::ceil(
+               4.0 * g * std::log(std::max(2.0, static_cast<double>(rows) / g)))));
+
+    for (int iter = 0; iter < stage_iters; ++iter) {
+      ++result.iterations;
+      // ---- One (possibly resampled-for-validity) iteration ----
+      for (int validity = 0; validity < options.validity_retries; ++validity) {
+        if (!budget_left()) {
+          // Budget exhausted: return the best filters seen, completed.
+          result.budget_exhausted = true;
+          if (best_filters.empty()) {
+            best_filters.assign(targets.count, geo::Filter());
+          }
+          const std::vector<int> uncovered =
+              Violate(problem, targets, best_filters);
+          Complete(problem, targets, uncovered, rng, &best_filters);
+          result.filters = std::move(best_filters);
+          result.fractional_objective = best_fractional;
+          return result;
+        }
+
+        // Q: weight-proportional coreset sample.
+        const std::vector<int> q_rows =
+            WeightedSampleWithoutReplacement(weights, q, rng);
+
+        // Helper: Sb sample + FilterGen + LPRelax, retrying Sb on
+        // LP infeasibility.
+        Result<LpRelaxResult> lp_result =
+            Status::Internal("no LPRelax attempt made");
+        std::vector<int> sa_rows;
+        for (int attempt = 0; attempt <= options.sb_retries; ++attempt) {
+          if (!budget_left()) break;
+          // Infeasibility ladder: the desired β first, then β_max, and as a
+          // last resort without (C3) — load balance is then left to the
+          // max-flow assignment step.
+          LpRelaxOptions lp_opts = options.lp;
+          if (attempt == options.sb_retries) {
+            lp_opts.enforce_load = false;
+          } else if (2 * attempt >= options.sb_retries) {
+            lp_opts.beta = problem.config().beta_max;
+          }
+          const std::vector<int> sb_rows =
+              UniformSampleWithoutReplacement(rows, sb_size, rng);
+          std::set<int> sa_set(q_rows.begin(), q_rows.end());
+          sa_set.insert(sb_rows.begin(), sb_rows.end());
+          sa_rows.assign(sa_set.begin(), sa_set.end());
+
+          std::vector<int> sa_subs;
+          sa_subs.reserve(sa_rows.size());
+          for (int r : sa_rows) sa_subs.push_back(targets.subscribers[r]);
+          const std::vector<geo::Rectangle> rects = FilterGen(
+              problem, sa_subs, targets.count, options.filter_gen, rng);
+
+          ++result.lp_calls;
+          lp_result = LpRelax(problem, targets, sa_rows, sb_rows, rects,
+                              lp_opts, rng);
+          if (lp_result.ok()) break;
+          if (lp_result.status().code() != StatusCode::kInfeasible) {
+            return lp_result.status();
+          }
+        }
+        if (!lp_result.ok()) {
+          if (!budget_left()) continue;  // outer check will finish up
+          return lp_result.status();
+        }
+
+        // ε-expand and test global coverage (Algorithm 1, line 11).
+        std::vector<geo::Filter> expanded;
+        expanded.reserve(targets.count);
+        for (const auto& f : lp_result.value().filters) {
+          expanded.push_back(f.Expanded(options.eps));
+        }
+        const std::vector<int> expanded_violations =
+            Violate(problem, targets, expanded);
+        if (expanded_violations.size() < best_violations) {
+          best_violations = expanded_violations.size();
+          best_filters = expanded;
+          best_fractional = lp_result.value().fractional_objective;
+        }
+        if (expanded_violations.empty()) {
+          result.filters = std::move(expanded);
+          result.fractional_objective =
+              lp_result.value().fractional_objective;
+          return result;
+        }
+
+        // Validity (Lemma 3): uncovered weight (unexpanded Φ) must be at
+        // most ε of the total; otherwise resample.
+        const std::vector<int> v =
+            Violate(problem, targets, lp_result.value().filters);
+        double wv = 0, wtotal = 0;
+        for (double w : weights) wtotal += w;
+        for (int r : v) wv += weights[r];
+        if (wv <= options.eps * wtotal || validity + 1 == options.validity_retries) {
+          // Valid (or retries exhausted — accept to guarantee progress):
+          // double the weight of uncovered subscribers.
+          for (int r : v) weights[r] *= 2;
+          break;
+        }
+      }
+    }
+    if (g >= rows) break;  // final exact stage already ran
+  }
+
+  // All stages ran without full coverage (only possible with a tight LP
+  // budget or pathological rounding): complete the best snapshot.
+  result.budget_exhausted = true;
+  if (best_filters.empty()) best_filters.assign(targets.count, geo::Filter());
+  const std::vector<int> uncovered = Violate(problem, targets, best_filters);
+  Complete(problem, targets, uncovered, rng, &best_filters);
+  result.filters = std::move(best_filters);
+  result.fractional_objective = best_fractional;
+  return result;
+}
+
+}  // namespace slp::core

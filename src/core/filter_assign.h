@@ -1,0 +1,77 @@
+// Preliminary filter assignment — Algorithm 1 of the paper (Section IV-A):
+// iterative reweighted sampling with an exponential search over the
+// ε-certificate size g.
+//
+// Each stage targets a certificate size g: subscriber weights start at 1; a
+// coreset Q of ~10·g·ln(g) subscribers is drawn weight-proportionally; the
+// helper adds a uniform load-balance sample Sb (10·|B| rows), generates
+// candidate filters, and calls LPRelax. If the ε-expanded rounded filters
+// cover the whole subscriber set, done; otherwise weights of uncovered
+// subscribers double and the stage repeats (valid iterations only — an
+// iteration whose uncovered weight exceeds ε of the total is resampled).
+// After 4·g·ln(|S|/g) valid iterations the stage concludes the certificate
+// is larger and doubles g.
+//
+// Engineering knob beyond the paper: `max_lp_calls` bounds the total number
+// of LP solves; when exhausted the best filters seen are returned after a
+// deterministic completion that guarantees coverage (smallest candidate
+// rectangle added to the nearest feasible target for each uncovered
+// subscriber). Set it to 0 for the paper-faithful unbounded loop.
+
+#ifndef SLP_CORE_FILTER_ASSIGN_H_
+#define SLP_CORE_FILTER_ASSIGN_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/candidates.h"
+#include "src/core/filter_gen.h"
+#include "src/core/lp_relax.h"
+#include "src/core/problem.h"
+
+namespace slp::core {
+
+struct FilterAssignOptions {
+  // ε of the ε-expansion / ε-certificate machinery.
+  double eps = 0.2;
+  // Initial certificate-size guess (Algorithm 1 starts at 4).
+  int initial_g = 4;
+  // |Sb| = sb_factor · (number of targets), capped by the subscriber count.
+  int sb_factor = 5;
+  // LPRelax retries with a fresh Sb sample when the LP comes back
+  // infeasible (paper: "up to a small number of times").
+  int sb_retries = 4;
+  // Cap on valid-iteration resampling attempts (Lemma 3: each attempt is
+  // valid with probability >= 1/2).
+  int validity_retries = 12;
+  // Total LP budget; 0 = unlimited (paper-faithful).
+  int max_lp_calls = 40;
+  FilterGenOptions filter_gen;
+  LpRelaxOptions lp;
+};
+
+struct FilterAssignResult {
+  // ε-expanded preliminary filter per target: covers every subscriber.
+  std::vector<geo::Filter> filters;
+  // Fractional LP objective of the final (successful) LPRelax call — the
+  // Section IV-D lower-bound yardstick.
+  double fractional_objective = 0;
+  int lp_calls = 0;
+  int iterations = 0;
+  int final_g = 0;
+  // True if the LP budget ran out and deterministic completion was used.
+  bool budget_exhausted = false;
+};
+
+// Computes preliminary filters covering all of targets.subscribers.
+// Returns a non-OK status only if LPRelax repeatedly fails for structural
+// reasons (e.g., a subscriber with no feasible target).
+Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
+                                        const Targets& targets,
+                                        const FilterAssignOptions& options,
+                                        Rng& rng);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_FILTER_ASSIGN_H_

@@ -1,0 +1,279 @@
+#include "src/core/lp_relax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/common/status.h"
+#include "src/lp/lp_problem.h"
+
+namespace slp::core {
+
+namespace {
+
+// A group of subscribers sharing candidate targets and rectangles (merged
+// for LP size; exact by symmetry).
+struct Group {
+  std::vector<int> targets;  // candidate target ids (capped, sorted)
+  std::vector<int> rects;    // candidate rectangle ids (capped, sorted)
+  double weight_sb = 0;      // members inside Sb (load-balance weight)
+  std::vector<int> rows;     // member local rows (for coverage checks)
+};
+
+}  // namespace
+
+Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
+                              const std::vector<int>& sa_rows,
+                              const std::vector<int>& sb_rows,
+                              const std::vector<geo::Rectangle>& rects,
+                              const LpRelaxOptions& options, Rng& rng) {
+  SLP_CHECK(!sa_rows.empty());
+  SLP_CHECK(!rects.empty());
+
+  const std::set<int> sb_set(sb_rows.begin(), sb_rows.end());
+
+  // ---- Per-subscriber candidates, then grouping ----
+  std::map<std::pair<std::vector<int>, std::vector<int>>, int> group_of;
+  std::vector<Group> groups;
+  for (int row : sa_rows) {
+    const int j = targets.subscribers[row];
+    // Targets: nearest half by latency plus a random spread of the rest —
+    // clustered subscribers would otherwise all point at the same few
+    // brokers and make load balance impossible within the cap.
+    const auto& cand = targets.candidates[row];
+    if (cand.empty()) {
+      return Status::Infeasible("subscriber with no feasible target");
+    }
+    std::vector<int> tcap;
+    if (static_cast<int>(cand.size()) <= options.targets_per_subscriber) {
+      tcap.assign(cand.begin(), cand.end());
+    } else {
+      const int near = (options.targets_per_subscriber + 1) / 2;
+      tcap.assign(cand.begin(), cand.begin() + near);
+      const int rest = static_cast<int>(cand.size()) - near;
+      for (int pick : UniformSampleWithoutReplacement(
+               rest, options.targets_per_subscriber - near, rng)) {
+        tcap.push_back(cand[near + pick]);
+      }
+    }
+    std::sort(tcap.begin(), tcap.end());
+    // Rectangles: multi-scale selection from the containing candidates
+    // (sorted by volume): the smallest few, then log-spaced larger ones up
+    // to and including the largest. Keeping only the smallest would starve
+    // (C1) of the big shared rectangles and make the LP infeasible.
+    std::vector<int> containing;
+    const auto& sub = problem.subscriber(j).subscription;
+    for (size_t k = 0; k < rects.size(); ++k) {
+      if (rects[k].Contains(sub)) containing.push_back(static_cast<int>(k));
+    }
+    if (containing.empty()) {
+      return Status::Infeasible("subscription not contained in any candidate");
+    }
+    std::vector<int> rcap;
+    const int small_quota = std::max(1, options.rects_per_subscriber - 3);
+    const int take_small =
+        std::min<int>(small_quota, static_cast<int>(containing.size()));
+    rcap.assign(containing.begin(), containing.begin() + take_small);
+    for (size_t idx = 2 * small_quota; idx < containing.size(); idx *= 2) {
+      rcap.push_back(containing[idx]);
+    }
+    if (rcap.back() != containing.back()) rcap.push_back(containing.back());
+    auto key = std::make_pair(std::move(tcap), std::move(rcap));
+    auto [it, inserted] =
+        group_of.emplace(key, static_cast<int>(groups.size()));
+    if (inserted) {
+      Group g;
+      g.targets = key.first;
+      g.rects = key.second;
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    g.rows.push_back(row);
+    if (sb_set.count(row)) g.weight_sb += 1;
+  }
+
+  // ---- LP construction ----
+  lp::LpProblem lp;
+  // y variables: only (target, rect) pairs that some group can use.
+  std::map<std::pair<int, int>, int> yvar;
+  for (const Group& g : groups) {
+    for (int t : g.targets) {
+      for (int k : g.rects) {
+        auto key = std::make_pair(t, k);
+        if (!yvar.count(key)) {
+          yvar[key] = lp.AddVariable(rects[k].Volume(), 0, 1);
+        }
+      }
+    }
+  }
+  // x variables per (group, target).
+  std::vector<std::vector<int>> xvar(groups.size());
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (size_t t = 0; t < groups[gi].targets.size(); ++t) {
+      xvar[gi].push_back(lp.AddVariable(0, 0, 1));
+    }
+  }
+
+  // (C1) per target: Σ_k y_tk ≤ α.
+  std::map<int, int> c1_row;
+  for (const auto& [key, var] : yvar) {
+    const int t = key.first;
+    auto it = c1_row.find(t);
+    if (it == c1_row.end()) {
+      it = c1_row
+               .emplace(t, lp.AddConstraint(lp::Sense::kLessEqual,
+                                            problem.config().alpha))
+               .first;
+    }
+    lp.AddEntry(it->second, var, 1);
+  }
+  // (C2) per group: Σ_t x ≥ 1.
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const int row = lp.AddConstraint(lp::Sense::kGreaterEqual, 1);
+    for (size_t t = 0; t < groups[gi].targets.size(); ++t) {
+      lp.AddEntry(row, xvar[gi][t], 1);
+    }
+  }
+  // (C3) per target: Σ_groups weight_sb · x ≤ β κ_t |Sb| + slack, with the
+  // slack penalized heavily in the objective. The soft form avoids burning
+  // full phase-1 infeasibility proofs on over-tight samples; positive slack
+  // at the optimum is reported as infeasibility below.
+  const double beta =
+      options.beta > 0 ? options.beta : problem.config().beta;
+  std::vector<int> slack_vars;
+  if (options.enforce_load && !sb_rows.empty()) {
+    double max_vol = 0;
+    for (const auto& r : rects) max_vol = std::max(max_vol, r.Volume());
+    const double penalty =
+        2.0 * problem.config().alpha * targets.count * std::max(max_vol, 1e-6);
+    std::map<int, int> c3_row;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if (groups[gi].weight_sb <= 0) continue;
+      for (size_t t = 0; t < groups[gi].targets.size(); ++t) {
+        const int target = groups[gi].targets[t];
+        auto it = c3_row.find(target);
+        if (it == c3_row.end()) {
+          const double cap = beta * targets.kappa[target] *
+                             static_cast<double>(sb_rows.size());
+          const int row = lp.AddConstraint(lp::Sense::kLessEqual, cap);
+          const int slack = lp.AddVariable(penalty, 0, lp::kInfinity);
+          lp.AddEntry(row, slack, -1);
+          slack_vars.push_back(slack);
+          it = c3_row.emplace(target, row).first;
+        }
+        lp.AddEntry(it->second, xvar[gi][t], groups[gi].weight_sb);
+      }
+    }
+  }
+  // (C4) per (group, target): Σ_{k ∈ rects_g} y_tk - x ≥ 0.
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (size_t t = 0; t < groups[gi].targets.size(); ++t) {
+      const int target = groups[gi].targets[t];
+      const int row = lp.AddConstraint(lp::Sense::kGreaterEqual, 0);
+      lp.AddEntry(row, xvar[gi][t], -1);
+      for (int k : groups[gi].rects) {
+        lp.AddEntry(row, yvar.at({target, k}), 1);
+      }
+    }
+  }
+
+  // ---- Solve ----
+  const lp::LpSolution sol = lp::SimplexSolver(options.simplex).Solve(lp);
+  if (sol.status == lp::SolveStatus::kInfeasible) {
+    return Status::Infeasible("filter-assignment LP infeasible");
+  }
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    return Status::ResourceExhausted(std::string("LP solver: ") +
+                                     lp::ToString(sol.status));
+  }
+
+  LpRelaxResult result;
+  // Report only the filter-volume part of the objective; surface any (C3)
+  // slack as infeasibility at this β.
+  double slack_total = 0;
+  for (int v : slack_vars) slack_total += sol.x[v];
+  result.load_slack_used = slack_total;
+  if (slack_total > 0.5) {
+    return Status::Infeasible(
+        "load-balance sample cannot be balanced at the requested beta");
+  }
+  double y_objective = 0;
+  for (const auto& [key, var] : yvar) {
+    y_objective += rects[key.second].Volume() * sol.x[var];
+  }
+  result.fractional_objective = y_objective;
+
+  // ---- Randomized rounding ----
+  const double boost = 2.0 * std::log(std::max<double>(sa_rows.size(), 2.0));
+  std::vector<std::vector<int>> chosen(targets.count);  // rect ids per target
+  auto round_once = [&]() {
+    for (auto& c : chosen) c.clear();
+    for (const auto& [key, var] : yvar) {
+      const double yhat = std::clamp(sol.x[var], 0.0, 1.0);
+      if (yhat <= 1e-12) continue;
+      const double p = 1.0 - std::pow(1.0 - yhat, boost);
+      if (rng.Bernoulli(p)) chosen[key.first].push_back(key.second);
+    }
+  };
+  auto group_covered = [&](const Group& g) {
+    for (size_t t = 0; t < g.targets.size(); ++t) {
+      const int target = g.targets[t];
+      for (int k : g.rects) {
+        if (std::find(chosen[target].begin(), chosen[target].end(), k) !=
+            chosen[target].end()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  bool covered = false;
+  for (int attempt = 0; attempt < options.max_rounding_attempts; ++attempt) {
+    ++result.rounding_attempts;
+    round_once();
+    covered = true;
+    for (const Group& g : groups) {
+      if (!group_covered(g)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) break;
+  }
+  if (!covered) {
+    // Deterministic completion: give each uncovered group its
+    // highest-fractional-mass (target, rect) pair.
+    result.used_completion = true;
+    for (const Group& g : groups) {
+      if (group_covered(g)) continue;
+      double best = -1;
+      std::pair<int, int> pick{g.targets[0], g.rects[0]};
+      for (int t : g.targets) {
+        for (int k : g.rects) {
+          const double v = sol.x[yvar.at({t, k})];
+          if (v > best) {
+            best = v;
+            pick = {t, k};
+          }
+        }
+      }
+      chosen[pick.first].push_back(pick.second);
+    }
+  }
+
+  result.filters.resize(targets.count);
+  for (int t = 0; t < targets.count; ++t) {
+    std::sort(chosen[t].begin(), chosen[t].end());
+    chosen[t].erase(std::unique(chosen[t].begin(), chosen[t].end()),
+                    chosen[t].end());
+    std::vector<geo::Rectangle> rs;
+    rs.reserve(chosen[t].size());
+    for (int k : chosen[t]) rs.push_back(rects[k]);
+    result.filters[t] = geo::Filter(std::move(rs));
+  }
+  return result;
+}
+
+}  // namespace slp::core

@@ -1,0 +1,85 @@
+// LP relaxation + randomized rounding for preliminary filter assignment
+// (Section IV-A.1).
+//
+// Builds the paper's mixed program over x_ij (subscriber j assigned to
+// target i) and y_ik (rectangle k in target i's filter), relaxed to [0,1]:
+//   min  Σ Vol(R_k) · y_ik
+//   (C1) Σ_k y_ik ≤ α                         per target
+//   (C2) Σ_{i ∈ B_j} x_ij ≥ 1                 per subscriber in Sa
+//   (C3) Σ_{j ∈ Sb} x_ij ≤ β κ_i |Sb|         per target
+//   (C4) Σ_{R_k ⊇ σ_j} y_ik ≥ x_ij            per (j, i ∈ B_j)
+// then rounds each y_ik to 1 with probability 1 - (1 - ŷ)^{2 ln|Sa|},
+// retrying until the rounded filters cover Sa (success probability ≥ 1/2
+// per attempt).
+//
+// Scalability measures (beyond the paper's text, documented in DESIGN.md):
+//  * per-subscriber candidate targets capped to the nearest few;
+//  * per-subscriber candidate rectangles capped to the smallest few;
+//  * subscribers with identical (targets, rectangles) signatures merged
+//    into one weighted group — exact by symmetry of the LP.
+
+#ifndef SLP_CORE_LP_RELAX_H_
+#define SLP_CORE_LP_RELAX_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/candidates.h"
+#include "src/core/problem.h"
+#include "src/geometry/filter.h"
+#include "src/lp/simplex.h"
+
+namespace slp::core {
+
+struct LpRelaxOptions {
+  // Max candidate targets per subscriber in the LP: the nearest half by
+  // latency plus a random half of the remaining feasible targets (pure
+  // nearest-k collapses onto the same few brokers for geographically
+  // clustered subscribers and starves the load constraint).
+  int targets_per_subscriber = 6;
+  // Max candidate rectangles per subscriber in the LP (smallest volume).
+  int rects_per_subscriber = 8;
+  // Rounding attempts before the deterministic completion kicks in.
+  int max_rounding_attempts = 20;
+  // Load-balance factor used in (C3); < 0 means the problem's β. Callers
+  // (FilterAssign) escalate this toward β_max when the LP is infeasible.
+  double beta = -1;
+  // Drop (C3) entirely — last-resort fallback; load balance is then
+  // enforced only by the max-flow assignment step.
+  bool enforce_load = true;
+  lp::SimplexOptions simplex;
+};
+
+struct LpRelaxResult {
+  // One (possibly >α rectangles — fixed later by filter adjustment) filter
+  // per target.
+  std::vector<geo::Filter> filters;
+  // Optimal LP objective restricted to the Σ Vol(R_k)·y_ik part — the
+  // fractional lower bound of Section IV-D. (C3) is enforced softly with a
+  // heavily penalized slack so that an over-tight load sample degrades the
+  // solution instead of wasting a full infeasibility proof; the penalty is
+  // excluded here and surfaced via load_slack_used.
+  double fractional_objective = 0;
+  // Total (C3) slack in the fractional optimum (subscribers of Sb beyond
+  // the β cap); > 0 means the sample could not be balanced at β.
+  double load_slack_used = 0;
+  // Number of rounding rounds used; true if the deterministic completion
+  // had to add rectangles for uncovered subscribers.
+  int rounding_attempts = 0;
+  bool used_completion = false;
+};
+
+// sa_rows / sb_rows index into targets.subscribers (local rows). sb_rows
+// must be a subset of sa_rows. `rects` is the candidate set from FilterGen,
+// sorted by volume ascending. Returns kInfeasible if the LP has no
+// fractional solution (e.g., the Sb sample makes load balance impossible).
+Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
+                              const std::vector<int>& sa_rows,
+                              const std::vector<int>& sb_rows,
+                              const std::vector<geo::Rectangle>& rects,
+                              const LpRelaxOptions& options, Rng& rng);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_LP_RELAX_H_

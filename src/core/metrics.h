@@ -1,0 +1,49 @@
+// Solution quality measures used throughout the evaluation (Section VI):
+// total bandwidth, subscriber delays, and broker loads.
+
+#ifndef SLP_CORE_METRICS_H_
+#define SLP_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+
+namespace slp::core {
+
+struct SolutionMetrics {
+  // Q(T): sum over broker nodes of the exact union volume of their filter
+  // (expected bandwidth into each broker under uniform events).
+  double total_bandwidth = 0;
+  // Same but counting each rectangle's volume separately — the quantity the
+  // LP objective bounds (paper, footnote 2); useful when comparing against
+  // the fractional lower bound.
+  double total_bandwidth_sum = 0;
+  // Relative delays (δ/Δ - 1) across subscribers.
+  double rms_delay = 0;
+  double mean_delay = 0;
+  double max_delay = 0;
+  // Broker loads (subscriber counts per leaf, by leaf index).
+  std::vector<int> loads;
+  double load_stdev = 0;
+  double lbf = 0;
+};
+
+SolutionMetrics ComputeMetrics(const SaProblem& problem,
+                               const SaSolution& solution);
+
+// Boxplot-style five-number summary of loads (used for Figures 7(c), 9(b)).
+struct LoadSummary {
+  int min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+LoadSummary SummarizeLoads(const std::vector<int>& loads);
+
+// Cumulative distribution of loads at the given probe points (Figure 7(d)):
+// fraction of brokers with load <= probe.
+std::vector<double> LoadCdf(const std::vector<int>& loads,
+                            const std::vector<int>& probes);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_METRICS_H_

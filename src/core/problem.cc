@@ -1,0 +1,74 @@
+#include "src/core/problem.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace slp::core {
+
+SaProblem::SaProblem(net::BrokerTree tree,
+                     std::vector<wl::Subscriber> subscribers, SaConfig config)
+    : tree_(std::move(tree)),
+      subscribers_(std::move(subscribers)),
+      config_(config) {
+  const int l = static_cast<int>(tree_.leaf_brokers().size());
+  SLP_CHECK(l > 0);
+  kappa_.assign(l, 1.0 / l);
+  Init();
+}
+
+SaProblem::SaProblem(net::BrokerTree tree,
+                     std::vector<wl::Subscriber> subscribers, SaConfig config,
+                     std::vector<double> capacity_fractions)
+    : tree_(std::move(tree)),
+      subscribers_(std::move(subscribers)),
+      config_(config),
+      kappa_(std::move(capacity_fractions)) {
+  SLP_CHECK(kappa_.size() == tree_.leaf_brokers().size());
+  double total = 0;
+  for (double k : kappa_) {
+    SLP_CHECK(k >= 0);
+    total += k;
+  }
+  SLP_CHECK(std::abs(total - 1.0) < 1e-9);
+  Init();
+}
+
+void SaProblem::Init() {
+  SLP_CHECK(!subscribers_.empty());
+  SLP_CHECK(config_.alpha >= 1);
+  SLP_CHECK(config_.max_delay >= 0);
+  SLP_CHECK(config_.beta_max >= config_.beta);
+  SLP_CHECK(config_.beta >= 1.0);
+
+  leaf_index_.assign(tree_.num_nodes(), -1);
+  const auto& leaves = tree_.leaf_brokers();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaf_index_[leaves[i]] = static_cast<int>(i);
+  }
+
+  const int m = num_subscribers();
+  delta_path_.resize(m);
+  latency_bound_.resize(m);
+  for (int j = 0; j < m; ++j) {
+    delta_path_[j] = tree_.ShortestLatency(subscribers_[j].location);
+    double best_mode = delta_path_[j];
+    if (config_.latency_mode == LatencyMode::kLastHop) {
+      best_mode = std::numeric_limits<double>::infinity();
+      for (int leaf : tree_.leaf_brokers()) {
+        best_mode = std::min(best_mode, geo::Distance(tree_.location(leaf),
+                                                      subscribers_[j].location));
+      }
+    }
+    latency_bound_[j] = (1.0 + config_.max_delay) * best_mode;
+  }
+}
+
+double SaProblem::RelativeDelay(int j, int leaf_node) const {
+  const double delta = tree_.LatencyVia(leaf_node, subscribers_[j].location);
+  if (delta_path_[j] <= 0) return 0;
+  return delta / delta_path_[j] - 1.0;
+}
+
+}  // namespace slp::core

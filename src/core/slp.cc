@@ -1,0 +1,192 @@
+#include "src/core/slp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+#include "src/core/candidates.h"
+#include "src/core/filter_adjust.h"
+#include "src/core/filter_assign.h"
+#include "src/core/subscription_assign.h"
+
+namespace slp::core {
+
+namespace {
+
+class SlpRunner {
+ public:
+  SlpRunner(const SaProblem& problem, const SlpOptions& options, Rng& rng,
+            SlpStats* stats)
+      : problem_(problem), options_(options), rng_(rng), stats_(stats) {}
+
+  Result<SaSolution> Run() {
+    SaSolution solution;
+    solution.algorithm = "SLP";
+    solution.assignment.assign(problem_.num_subscribers(), -1);
+    solution.latency_feasible = true;
+    solution.load_feasible = true;
+
+    const Status st = Recurse(net::BrokerTree::kPublisher,
+                              AllSubscribers(problem_), &solution,
+                              /*is_root=*/true);
+    if (!st.ok()) return st;
+
+    // Global load repair: the per-level assignments enforce the load caps
+    // only against sampled Sb sets, and the sampling error compounds down
+    // the recursion. One leaf-level max-flow over the whole subscriber set
+    // restores the global cap wherever feasible; the cohesion seeding keeps
+    // subscribers at their current leaves unless rebalancing demands
+    // otherwise.
+    SLP_RETURN_IF_ERROR(GlobalRepair(&solution));
+
+    AdjustLeafFilters(problem_, &solution, rng_);
+    BuildInternalFilters(problem_, &solution, rng_);
+    return solution;
+  }
+
+ private:
+  // Leaf-level rebalance across the whole tree (see Run()). Leaf filters
+  // for the repair are the recursion's preliminary filters plus an α-MEB
+  // cover of each leaf's currently assigned subscriptions, so the current
+  // assignment is always one of the flow's options.
+  Status GlobalRepair(SaSolution* solution) {
+    const auto& tree = problem_.tree();
+    const Targets targets = BuildLeafTargets(problem_, AllSubscribers(problem_));
+    preliminary_leaf_filters_.resize(tree.num_nodes());
+
+    std::vector<std::vector<geo::Rectangle>> assigned(tree.num_nodes());
+    for (int j = 0; j < problem_.num_subscribers(); ++j) {
+      assigned[solution->assignment[j]].push_back(
+          problem_.subscriber(j).subscription);
+    }
+    std::vector<geo::Filter> filters(targets.count);
+    for (int t = 0; t < targets.count; ++t) {
+      const int leaf = problem_.leaf_node(t);
+      filters[t] = preliminary_leaf_filters_[leaf];
+      const geo::Filter current =
+          CoverWithAlphaMebs(assigned[leaf], problem_.config().alpha, rng_);
+      for (const auto& rect : current.rects()) filters[t].Add(rect);
+    }
+
+    Result<SubscriptionAssignResult> repaired = AssignByMaxFlow(
+        problem_, targets, &filters, rng_, options_.slp1.subscription_assign);
+    if (!repaired.ok()) return repaired.status();
+    solution->load_feasible = repaired.value().load_feasible;
+    for (size_t r = 0; r < targets.subscribers.size(); ++r) {
+      solution->assignment[targets.subscribers[r]] =
+          problem_.leaf_node(repaired.value().target_of[r]);
+    }
+    // Hand the (possibly enriched) repair filters to the adjustment step.
+    solution->filters.assign(tree.num_nodes(), geo::Filter());
+    for (int t = 0; t < targets.count; ++t) {
+      solution->filters[problem_.leaf_node(t)] = filters[t];
+    }
+    return Status::OK();
+  }
+
+  // Distributes `subs` (problem subscriber indices) below `node`.
+  Status Recurse(int node, std::vector<int> subs, SaSolution* solution,
+                 bool is_root) {
+    if (subs.empty()) return Status::OK();
+    const auto& tree = problem_.tree();
+    if (node != net::BrokerTree::kPublisher && tree.is_leaf(node)) {
+      for (int j : subs) solution->assignment[j] = node;
+      return Status::OK();
+    }
+    const auto& children = tree.children(node);
+    SLP_CHECK(!children.empty());
+    if (children.size() == 1) {
+      return Recurse(children[0], std::move(subs), solution, is_root);
+    }
+
+    const Targets targets = BuildChildTargets(problem_, subs, node);
+    std::vector<int> target_of;
+    if (static_cast<int>(subs.size()) <= options_.gamma) {
+      target_of = GreedyPartition(targets);
+    } else {
+      // One SLP1 stage over the child subtrees.
+      if (stats_ != nullptr) ++stats_->slp1_invocations;
+      Result<FilterAssignResult> fa =
+          FilterAssign(problem_, targets, options_.slp1.filter_assign, rng_);
+      if (!fa.ok()) return fa.status();
+      if (stats_ != nullptr) {
+        stats_->lp_calls += fa.value().lp_calls;
+        stats_->any_budget_exhausted |= fa.value().budget_exhausted;
+      }
+      if (is_root) {
+        solution->fractional_lower_bound = fa.value().fractional_objective;
+      }
+      std::vector<geo::Filter> preliminary = fa.value().filters;
+      Result<SubscriptionAssignResult> sa = AssignByMaxFlow(
+          problem_, targets, &preliminary, rng_,
+          options_.slp1.subscription_assign);
+      if (!sa.ok()) return sa.status();
+      solution->load_feasible &= sa.value().load_feasible;
+      target_of = sa.value().target_of;
+      // Remember leaf-level preliminary filters for the adjustment step.
+      for (int t = 0; t < targets.count; ++t) {
+        const int child = children[t];
+        if (tree.is_leaf(child)) {
+          if (preliminary_leaf_filters_.size() <
+              static_cast<size_t>(tree.num_nodes())) {
+            preliminary_leaf_filters_.resize(tree.num_nodes());
+          }
+          preliminary_leaf_filters_[child] = preliminary[t];
+        }
+      }
+    }
+
+    // Recurse per child with its share.
+    std::vector<std::vector<int>> share(children.size());
+    for (size_t r = 0; r < subs.size(); ++r) {
+      SLP_CHECK(target_of[r] >= 0);
+      share[target_of[r]].push_back(subs[r]);
+    }
+    for (size_t c = 0; c < children.size(); ++c) {
+      SLP_RETURN_IF_ERROR(
+          Recurse(children[c], std::move(share[c]), solution, false));
+    }
+    return Status::OK();
+  }
+
+  // γ-small nodes: nearest feasible child with available capacity (under
+  // β, then β_max), falling back to the nearest feasible child.
+  std::vector<int> GreedyPartition(const Targets& targets) {
+    const int rows = static_cast<int>(targets.subscribers.size());
+    std::vector<double> load(targets.count, 0);
+    std::vector<int> target_of(rows, -1);
+    for (int r = 0; r < rows; ++r) {
+      SLP_CHECK(!targets.candidates[r].empty());
+      int pick = -1;
+      for (double lbf : {problem_.config().beta, problem_.config().beta_max}) {
+        for (int t : targets.candidates[r]) {
+          if (load[t] + 1 <= targets.AbsCap(t, lbf) + 1e-9) {
+            pick = t;
+            break;
+          }
+        }
+        if (pick >= 0) break;
+      }
+      if (pick < 0) pick = targets.candidates[r][0];
+      target_of[r] = pick;
+      load[pick] += 1;
+    }
+    return target_of;
+  }
+
+  const SaProblem& problem_;
+  const SlpOptions options_;
+  Rng& rng_;
+  SlpStats* stats_;
+  std::vector<geo::Filter> preliminary_leaf_filters_;
+};
+
+}  // namespace
+
+Result<SaSolution> RunSlp(const SaProblem& problem, const SlpOptions& options,
+                          Rng& rng, SlpStats* stats) {
+  SlpRunner runner(problem, options, rng, stats);
+  return runner.Run();
+}
+
+}  // namespace slp::core

@@ -1,0 +1,45 @@
+// SLP — the multi-level algorithm (Section V): recursively apply the SLP1
+// machinery top-down. At each internal broker, the one-level pipeline
+// (FilterAssign + max-flow) distributes the node's subscribers among its
+// child subtrees, treated as virtual targets with optimistic latency and
+// aggregated capacity; each child is then processed recursively with its
+// share.
+//
+// Per the technical-report role of the threshold γ, a recursion node whose
+// subscriber share is at most γ skips the LP machinery and partitions
+// greedily (nearest feasible child with available capacity).
+
+#ifndef SLP_CORE_SLP_H_
+#define SLP_CORE_SLP_H_
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+#include "src/core/slp1.h"
+
+namespace slp::core {
+
+struct SlpOptions {
+  Slp1Options slp1;
+  // LP-bypass threshold: recursion nodes with at most this many subscribers
+  // are partitioned greedily.
+  int gamma = 64;
+};
+
+struct SlpStats {
+  int slp1_invocations = 0;
+  int lp_calls = 0;
+  bool any_budget_exhausted = false;
+};
+
+// Runs SLP over the (multi-level) tree of `problem`. Also correct on a
+// one-level tree, where it reduces to SLP1. fractional_lower_bound of the
+// result is the root-level LP objective (only the one-level case makes it a
+// bandwidth lower bound; see DESIGN.md).
+Result<SaSolution> RunSlp(const SaProblem& problem, const SlpOptions& options,
+                          Rng& rng, SlpStats* stats = nullptr);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_SLP_H_

@@ -1,0 +1,57 @@
+#include "src/core/slp1.h"
+
+#include "src/common/status.h"
+#include "src/core/candidates.h"
+#include "src/core/filter_adjust.h"
+
+namespace slp::core {
+
+Result<SaSolution> RunSlp1(const SaProblem& problem,
+                           const Slp1Options& options, Rng& rng,
+                           Slp1Stats* stats) {
+  const Targets targets = BuildLeafTargets(problem, AllSubscribers(problem));
+
+  // Step 1: preliminary filters (coreset + LP + rounding + ε-expansion).
+  Result<FilterAssignResult> fa =
+      FilterAssign(problem, targets, options.filter_assign, rng);
+  if (!fa.ok()) return fa.status();
+
+  // Step 2: load-balanced subscription assignment by max-flow (the
+  // preliminary filters may gain enrichment rectangles in the process).
+  std::vector<geo::Filter> preliminary = fa.value().filters;
+  Result<SubscriptionAssignResult> sa = AssignByMaxFlow(
+      problem, targets, &preliminary, rng, options.subscription_assign);
+  if (!sa.ok()) return sa.status();
+
+  SaSolution solution;
+  solution.algorithm = "SLP1";
+  solution.fractional_lower_bound = fa.value().fractional_objective;
+  solution.load_feasible = sa.value().load_feasible;
+  solution.latency_feasible = true;
+
+  const auto& tree = problem.tree();
+  solution.assignment.resize(problem.num_subscribers());
+  for (size_t r = 0; r < targets.subscribers.size(); ++r) {
+    solution.assignment[targets.subscribers[r]] =
+        problem.leaf_node(sa.value().target_of[r]);
+  }
+
+  // Step 3: filter adjustment — tighten against the preliminary filters and
+  // enforce the complexity cap; then interior filters bottom-up.
+  solution.filters.assign(tree.num_nodes(), geo::Filter());
+  for (int t = 0; t < targets.count; ++t) {
+    solution.filters[problem.leaf_node(t)] = preliminary[t];
+  }
+  AdjustLeafFilters(problem, &solution, rng);
+  BuildInternalFilters(problem, &solution, rng);
+
+  if (stats != nullptr) {
+    stats->lp_calls = fa.value().lp_calls;
+    stats->iterations = fa.value().iterations;
+    stats->achieved_beta = sa.value().achieved_beta;
+    stats->budget_exhausted = fa.value().budget_exhausted;
+  }
+  return solution;
+}
+
+}  // namespace slp::core

@@ -1,0 +1,39 @@
+// SLP1 — the one-level Subscriber-assignment-by-LP algorithm (Section IV):
+// preliminary filter assignment (coreset + LP relaxation + rounding), then
+// max-flow subscription assignment, then filter adjustment.
+
+#ifndef SLP_CORE_SLP1_H_
+#define SLP_CORE_SLP1_H_
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/assignment.h"
+#include "src/core/filter_assign.h"
+#include "src/core/problem.h"
+#include "src/core/subscription_assign.h"
+
+namespace slp::core {
+
+struct Slp1Options {
+  FilterAssignOptions filter_assign;
+  SubscriptionAssignOptions subscription_assign;
+};
+
+struct Slp1Stats {
+  int lp_calls = 0;
+  int iterations = 0;
+  double achieved_beta = 0;
+  bool budget_exhausted = false;
+};
+
+// Runs SLP1 over the problem's leaf brokers (the tree is typically
+// one-level, but any tree works — only the leaves receive subscribers; use
+// RunSlp for the paper's top-down multi-level algorithm). The returned
+// solution carries the LP fractional objective in fractional_lower_bound.
+Result<SaSolution> RunSlp1(const SaProblem& problem,
+                           const Slp1Options& options, Rng& rng,
+                           Slp1Stats* stats = nullptr);
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_SLP1_H_

@@ -1,0 +1,61 @@
+// SLP1 step 2 (Section IV-B): assign the full subscriber set to targets by
+// max-flow, given the preliminary filters. Focuses on load balance while
+// only using (filter ∧ latency)-covering edges. The desired lbf β is
+// escalated by small steps toward β_max, reusing the current flow after
+// each capacity increase, exactly as the paper suggests.
+
+#ifndef SLP_CORE_SUBSCRIPTION_ASSIGN_H_
+#define SLP_CORE_SUBSCRIPTION_ASSIGN_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/candidates.h"
+#include "src/core/problem.h"
+#include "src/geometry/filter.h"
+
+namespace slp::core {
+
+struct SubscriptionAssignOptions {
+  // Multiplicative β escalation per retry (β_max is always tried last).
+  double escalation = 1.05;
+  // Seed the flow with a cost-ordered greedy pre-assignment (cost = volume
+  // of the smallest covering rectangle) so max-flow only reroutes where
+  // load balance demands it. Off reproduces the paper's plain max-flow.
+  bool cohesion_seeding = true;
+  // When β_max still leaves subscribers unrouted (their covering targets
+  // are all saturated), up to this many enrichment rounds add the stranded
+  // subscriptions — as ≤α clustered MEBs — to their nearest
+  // latency-feasible target with spare capacity and re-run the flow. The
+  // preliminary filters are extended in place; the final filters are
+  // rebuilt from the assignment by FilterAdjust anyway.
+  int enrichment_rounds = 3;
+  // When even enrichment leaves subscribers unrouted, place them
+  // best-effort on their least-loaded covering target (flag the result)
+  // instead of failing. The paper stops in this case; the fallback keeps
+  // benchmark runs comparable and is reported via `load_feasible`.
+  bool best_effort_overflow = true;
+};
+
+struct SubscriptionAssignResult {
+  // Per local row (targets.subscribers order): assigned target id.
+  std::vector<int> target_of;
+  double achieved_beta = 0;  // β value at which the flow saturated
+  bool load_feasible = true;
+};
+
+// (*filters)[t] is the (ε-expanded) preliminary filter of target t; it may
+// be extended in place by enrichment rounds. A target covers subscriber
+// row r iff it is latency-feasible for r and one of its filter rectangles
+// contains r's subscription. Returns kInfeasible only if some subscriber
+// is covered by no target at all, or — when best_effort_overflow is off —
+// load balance cannot be met within β_max.
+Result<SubscriptionAssignResult> AssignByMaxFlow(
+    const SaProblem& problem, const Targets& targets,
+    std::vector<geo::Filter>* filters, Rng& rng,
+    const SubscriptionAssignOptions& options = {});
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_SUBSCRIPTION_ASSIGN_H_

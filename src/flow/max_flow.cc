@@ -1,0 +1,129 @@
+#include "src/flow/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/common/status.h"
+
+namespace slp::flow {
+
+MaxFlow::MaxFlow(int num_nodes) : head_(num_nodes, -1) {
+  SLP_CHECK(num_nodes >= 2);
+}
+
+int MaxFlow::AddEdge(int u, int v, int64_t capacity) {
+  SLP_CHECK(u >= 0 && u < num_nodes());
+  SLP_CHECK(v >= 0 && v < num_nodes());
+  SLP_CHECK(capacity >= 0);
+  const int fwd = static_cast<int>(to_.size());
+  to_.push_back(v);
+  cap_.push_back(capacity);
+  next_.push_back(head_[u]);
+  head_[u] = fwd;
+  const int rev = fwd + 1;
+  to_.push_back(u);
+  cap_.push_back(0);
+  next_.push_back(head_[v]);
+  head_[v] = rev;
+  original_cap_.push_back(capacity);
+  return fwd / 2;
+}
+
+void MaxFlow::SetCapacity(int id, int64_t capacity) {
+  SLP_CHECK(id >= 0 && id < num_edges());
+  const int fwd = 2 * id;
+  const int64_t current_flow = cap_[fwd + 1];
+  SLP_CHECK(capacity >= current_flow);
+  cap_[fwd] = capacity - current_flow;
+  original_cap_[id] = capacity;
+}
+
+void MaxFlow::PushPath(const std::vector<int>& edge_ids, int64_t amount) {
+  SLP_CHECK(amount >= 0);
+  for (int id : edge_ids) {
+    SLP_CHECK(id >= 0 && id < num_edges());
+    SLP_CHECK(cap_[2 * id] >= amount);
+  }
+  for (int id : edge_ids) {
+    cap_[2 * id] -= amount;
+    cap_[2 * id + 1] += amount;
+  }
+  total_flow_ += amount;
+}
+
+int64_t MaxFlow::flow(int id) const {
+  SLP_CHECK(id >= 0 && id < num_edges());
+  return cap_[2 * id + 1];  // reverse residual == flow pushed forward
+}
+
+bool MaxFlow::Bfs(int s, int t) {
+  level_.assign(num_nodes(), -1);
+  std::queue<int> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int a = head_[u]; a != -1; a = next_[a]) {
+      if (cap_[a] > 0 && level_[to_[a]] < 0) {
+        level_[to_[a]] = level_[u] + 1;
+        q.push(to_[a]);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+int64_t MaxFlow::Dfs(int u, int t, int64_t limit) {
+  if (u == t) return limit;
+  int64_t pushed = 0;
+  for (int& a = iter_[u]; a != -1; a = next_[a]) {
+    const int v = to_[a];
+    if (cap_[a] <= 0 || level_[v] != level_[u] + 1) continue;
+    const int64_t got = Dfs(v, t, std::min(limit - pushed, cap_[a]));
+    if (got > 0) {
+      cap_[a] -= got;
+      cap_[a ^ 1] += got;
+      pushed += got;
+      if (pushed == limit) return pushed;
+    }
+  }
+  level_[u] = -1;  // dead end; prune for this phase
+  return pushed;
+}
+
+int64_t MaxFlow::Solve(int s, int t) {
+  SLP_CHECK(s != t);
+  if (last_s_ >= 0) {
+    // Resuming is only meaningful for the same terminals.
+    SLP_CHECK(s == last_s_ && t == last_t_);
+  }
+  last_s_ = s;
+  last_t_ = t;
+  while (Bfs(s, t)) {
+    iter_ = head_;
+    total_flow_ += Dfs(s, t, std::numeric_limits<int64_t>::max());
+  }
+  return total_flow_;
+}
+
+std::vector<bool> MaxFlow::MinCutSourceSide(int s) const {
+  std::vector<bool> side(num_nodes(), false);
+  std::queue<int> q;
+  side[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int a = head_[u]; a != -1; a = next_[a]) {
+      if (cap_[a] > 0 && !side[to_[a]]) {
+        side[to_[a]] = true;
+        q.push(to_[a]);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace slp::flow

@@ -1,0 +1,76 @@
+// Dinic's maximum-flow algorithm with support for raising edge capacities
+// and resuming from the current flow.
+//
+// Used by the subscription-assignment step of SLP1 (Section IV-B), where
+// the desired load-balance factor β is escalated until all subscribers are
+// routed — the paper notes the current flow can be reused as the starting
+// flow after each capacity increase, which this implementation supports —
+// and by the Balance baseline (Section VI).
+
+#ifndef SLP_FLOW_MAX_FLOW_H_
+#define SLP_FLOW_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slp::flow {
+
+// A directed flow network over nodes 0..num_nodes-1. Edges carry integer
+// capacities (subscriber-assignment problems are integral by construction).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  // Adds a directed edge u -> v with the given capacity. Returns an edge id
+  // that can later be passed to SetCapacity / flow(). A reverse edge with
+  // zero capacity is created internally.
+  int AddEdge(int u, int v, int64_t capacity);
+
+  // Updates the capacity of edge `id`. Lowering a capacity below the flow
+  // it currently carries is not supported (CHECK-fails); the intended use
+  // is capacity escalation.
+  void SetCapacity(int id, int64_t capacity);
+
+  // Manually routes `amount` units along the path formed by the given
+  // edges, which must run from the Solve() source to the sink and have
+  // sufficient residual capacity (CHECK-fails otherwise). Used to seed the
+  // solver with a heuristic (e.g., cost-aware) initial flow that later
+  // Solve() calls extend and, only where necessary, reroute.
+  void PushPath(const std::vector<int>& edge_ids, int64_t amount);
+
+  // Computes (or, after capacity increases, augments) the maximum flow from
+  // s to t. Returns the total flow routed from s to t so far (cumulative
+  // across calls with the same s, t).
+  int64_t Solve(int s, int t);
+
+  // Flow currently routed through edge `id` (forward direction).
+  int64_t flow(int id) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+  int num_edges() const { return static_cast<int>(to_.size()) / 2; }
+
+  // Nodes on the s-side of a minimum cut after the last Solve() call (those
+  // reachable from s in the residual graph).
+  std::vector<bool> MinCutSourceSide(int s) const;
+
+ private:
+  bool Bfs(int s, int t);
+  int64_t Dfs(int u, int t, int64_t limit);
+
+  // Adjacency: head_[u] -> first arc id, next_[a] -> next arc. Arc 2k is
+  // the forward direction of edge k; arc 2k+1 its reverse.
+  std::vector<int> head_;
+  std::vector<int> next_;
+  std::vector<int> to_;
+  std::vector<int64_t> cap_;  // residual capacity per arc
+
+  std::vector<int64_t> original_cap_;  // per edge id, forward capacity
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  int64_t total_flow_ = 0;
+  int last_s_ = -1, last_t_ = -1;
+};
+
+}  // namespace slp::flow
+
+#endif  // SLP_FLOW_MAX_FLOW_H_

@@ -1,0 +1,116 @@
+#include "src/geometry/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace slp::geo {
+
+namespace {
+
+// k-means++ seeding: first center uniform, subsequent centers with
+// probability proportional to squared distance to the nearest chosen center.
+std::vector<Point> SeedCenters(const std::vector<Point>& points, int k,
+                               Rng& rng) {
+  const int n = static_cast<int>(points.size());
+  std::vector<Point> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.UniformInt(0, n - 1)]);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], DistanceSquared(points[i], centers.back()));
+      total += d2[i];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with a center; seed arbitrarily.
+      centers.push_back(points[rng.UniformInt(0, n - 1)]);
+      continue;
+    }
+    double u = rng.Uniform(0, total);
+    int pick = n - 1;
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += d2[i];
+      if (acc >= u) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(points[pick]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point>& points, int k, Rng& rng,
+                    int max_iters) {
+  SLP_CHECK(!points.empty());
+  SLP_CHECK(k >= 1);
+  const int n = static_cast<int>(points.size());
+  const int dim = static_cast<int>(points[0].size());
+
+  KMeansResult result;
+  if (k >= n) {
+    result.labels.resize(n);
+    for (int i = 0; i < n; ++i) {
+      result.labels[i] = i;
+      result.centers.push_back(points[i]);
+    }
+    return result;
+  }
+
+  std::vector<Point> centers = SeedCenters(points, k, rng);
+  std::vector<int> labels(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int arg = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = DistanceSquared(points[i], centers[c]);
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      if (arg != labels[i]) {
+        labels[i] = arg;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    std::vector<Point> sums(k, Point(dim, 0.0));
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dim; ++d) sums[labels[i]][d] += points[i][d];
+      ++counts[labels[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old center for empty cluster
+      for (int d = 0; d < dim; ++d) centers[c][d] = sums[c][d] / counts[c];
+    }
+  }
+
+  // Compact away empty clusters so callers can rely on contiguous ids.
+  std::vector<int> count(k, 0);
+  for (int l : labels) ++count[l];
+  std::vector<int> remap(k, -1);
+  int next = 0;
+  for (int c = 0; c < k; ++c) {
+    if (count[c] > 0) remap[c] = next++;
+  }
+  result.labels.resize(n);
+  result.centers.resize(next);
+  for (int c = 0; c < k; ++c) {
+    if (remap[c] >= 0) result.centers[remap[c]] = centers[c];
+  }
+  for (int i = 0; i < n; ++i) result.labels[i] = remap[labels[i]];
+  return result;
+}
+
+}  // namespace slp::geo

@@ -1,0 +1,37 @@
+// k-means clustering (k-means++ seeding, Lloyd iterations).
+//
+// Used in two places:
+//  * FilterGen's optional super-subscription step, which clusters
+//    subscriptions in a joint network ⊕ event feature space (Section
+//    IV-A.3);
+//  * FilterAdjust, which clusters a broker's assigned subscriptions into α
+//    groups and covers each with an MEB (Section IV-C).
+
+#ifndef SLP_GEOMETRY_CLUSTERING_H_
+#define SLP_GEOMETRY_CLUSTERING_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/geometry/point.h"
+
+namespace slp::geo {
+
+struct KMeansResult {
+  // labels[i] ∈ [0, k) — cluster of input point i. Every cluster id in
+  // [0, k) has at least one member (empty clusters are compacted away, so
+  // the effective k may be smaller than requested).
+  std::vector<int> labels;
+  std::vector<Point> centers;
+
+  int num_clusters() const { return static_cast<int>(centers.size()); }
+};
+
+// Clusters `points` into at most `k` groups. If k >= points.size(), every
+// point becomes its own cluster. Deterministic given `rng` state.
+KMeansResult KMeans(const std::vector<Point>& points, int k, Rng& rng,
+                    int max_iters = 25);
+
+}  // namespace slp::geo
+
+#endif  // SLP_GEOMETRY_CLUSTERING_H_

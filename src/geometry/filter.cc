@@ -1,0 +1,68 @@
+#include "src/geometry/filter.h"
+
+namespace slp::geo {
+
+namespace {
+
+// DFS over subsets of rects[start..] whose running intersection `acc` is
+// non-empty, accumulating the inclusion-exclusion sum. `sign` is +1 for odd
+// subset cardinality, -1 for even.
+void UnionVolumeDfs(const std::vector<Rectangle>& rects, size_t start,
+                    const Rectangle& acc, double sign, double* total) {
+  for (size_t i = start; i < rects.size(); ++i) {
+    std::optional<Rectangle> next = acc.Intersection(rects[i]);
+    if (!next.has_value()) continue;
+    *total += sign * next->Volume();
+    UnionVolumeDfs(rects, i + 1, *next, -sign, total);
+  }
+}
+
+}  // namespace
+
+bool Filter::CoversRect(const Rectangle& r) const {
+  for (const Rectangle& f : rects_) {
+    if (f.Contains(r)) return true;
+  }
+  return false;
+}
+
+bool Filter::ContainsPoint(const Point& p) const {
+  for (const Rectangle& f : rects_) {
+    if (f.ContainsPoint(p)) return true;
+  }
+  return false;
+}
+
+bool Filter::CoversFilter(const Filter& other) const {
+  for (const Rectangle& r : other.rects_) {
+    if (!CoversRect(r)) return false;
+  }
+  return true;
+}
+
+double Filter::SumVolume() const {
+  double v = 0;
+  for (const Rectangle& r : rects_) v += r.Volume();
+  return v;
+}
+
+double Filter::UnionVolume() const {
+  if (rects_.empty()) return 0;
+  double total = 0;
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    total += rects_[i].Volume();
+    UnionVolumeDfs(rects_, i + 1, rects_[i], -1.0, &total);
+  }
+  return total;
+}
+
+Filter Filter::Expanded(double eps) const {
+  std::vector<Rectangle> out;
+  out.reserve(rects_.size());
+  for (const Rectangle& r : rects_) out.push_back(r.Expanded(eps));
+  return Filter(std::move(out));
+}
+
+Rectangle Filter::Meb() const { return Rectangle::Meb(rects_); }
+
+}  // namespace slp::geo

@@ -1,0 +1,41 @@
+// d-dimensional points shared by the event space E and (via src/network)
+// the network space N.
+
+#ifndef SLP_GEOMETRY_POINT_H_
+#define SLP_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace slp::geo {
+
+// A point in R^d. A thin alias: algorithms treat points as value types.
+using Point = std::vector<double>;
+
+// Euclidean distance between two points of equal dimension.
+inline double Distance(const Point& a, const Point& b) {
+  SLP_CHECK(a.size() == b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// Squared Euclidean distance (no sqrt); used in k-means inner loops.
+inline double DistanceSquared(const Point& a, const Point& b) {
+  SLP_CHECK(a.size() == b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace slp::geo
+
+#endif  // SLP_GEOMETRY_POINT_H_

@@ -1,0 +1,120 @@
+#include "src/geometry/rectangle.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace slp::geo {
+
+Rectangle::Rectangle(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  SLP_CHECK(lo_.size() == hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) SLP_CHECK(lo_[i] <= hi_[i]);
+}
+
+Rectangle Rectangle::FromPoint(const Point& p) { return Rectangle(p, p); }
+
+Rectangle Rectangle::FromCenter(const Point& center,
+                                const std::vector<double>& widths) {
+  SLP_CHECK(center.size() == widths.size());
+  std::vector<double> lo(center.size()), hi(center.size());
+  for (size_t i = 0; i < center.size(); ++i) {
+    SLP_CHECK(widths[i] >= 0);
+    lo[i] = center[i] - widths[i] / 2;
+    hi[i] = center[i] + widths[i] / 2;
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+Rectangle Rectangle::Meb(const std::vector<Rectangle>& rects) {
+  SLP_CHECK(!rects.empty());
+  Rectangle out = rects[0];
+  for (size_t i = 1; i < rects.size(); ++i) out.Enclose(rects[i]);
+  return out;
+}
+
+Point Rectangle::Center() const {
+  Point c(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) c[i] = (lo_[i] + hi_[i]) / 2;
+  return c;
+}
+
+double Rectangle::Volume() const {
+  double v = 1;
+  for (size_t i = 0; i < lo_.size(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+bool Rectangle::ContainsPoint(const Point& p) const {
+  SLP_CHECK(static_cast<int>(p.size()) == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::Contains(const Rectangle& r) const {
+  SLP_CHECK(r.dim() == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (r.lo_[i] < lo_[i] || r.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::Intersects(const Rectangle& r) const {
+  SLP_CHECK(r.dim() == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (r.hi_[i] < lo_[i] || r.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+std::optional<Rectangle> Rectangle::Intersection(const Rectangle& r) const {
+  if (!Intersects(r)) return std::nullopt;
+  std::vector<double> lo(lo_.size()), hi(hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo[i] = std::max(lo_[i], r.lo_[i]);
+    hi[i] = std::min(hi_[i], r.hi_[i]);
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+Rectangle Rectangle::EnclosureWith(const Rectangle& r) const {
+  Rectangle out = *this;
+  out.Enclose(r);
+  return out;
+}
+
+Rectangle& Rectangle::Enclose(const Rectangle& r) {
+  SLP_CHECK(r.dim() == dim());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], r.lo_[i]);
+    hi_[i] = std::max(hi_[i], r.hi_[i]);
+  }
+  return *this;
+}
+
+double Rectangle::EnlargementTo(const Rectangle& r) const {
+  return EnclosureWith(r).Volume() - Volume();
+}
+
+Rectangle Rectangle::Expanded(double eps) const {
+  SLP_CHECK(eps >= 0);
+  std::vector<double> lo(lo_.size()), hi(hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const double pad = eps * (hi_[i] - lo_[i]) / 2;
+    lo[i] = lo_[i] - pad;
+    hi[i] = hi_[i] + pad;
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+std::string Rectangle::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (i) os << " x ";
+    os << "[" << lo_[i] << "," << hi_[i] << "]";
+  }
+  return os.str();
+}
+
+}  // namespace slp::geo

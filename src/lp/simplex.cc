@@ -1,0 +1,520 @@
+#include "src/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace slp::lp {
+
+const char* ToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "OPTIMAL";
+    case SolveStatus::kInfeasible: return "INFEASIBLE";
+    case SolveStatus::kUnbounded: return "UNBOUNDED";
+    case SolveStatus::kIterationLimit: return "ITERATION_LIMIT";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// Internal working state for one Solve() call. Columns are laid out as
+// [structural | slack | artificial]; every column is stored sparsely.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options), m_(problem.num_constraints()) {
+    BuildColumns(problem);
+    InitBasis(problem);
+  }
+
+  LpSolution Run(const LpProblem& problem) {
+    LpSolution solution;
+    const int max_iters = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : std::max(20000, 50 * m_);
+
+    // Phase 1: minimize the sum of artificial variables.
+    if (num_art_ > 0) {
+      SetPhase1Costs();
+      RecomputeDuals();
+      const SolveStatus st = Iterate(max_iters, &solution.iterations);
+      if (st == SolveStatus::kIterationLimit) {
+        solution.status = st;
+        return solution;
+      }
+      SLP_CHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
+      if (CurrentObjective() > options_.feasibility_tol * (1 + rhs_norm_)) {
+        solution.status = SolveStatus::kInfeasible;
+        return solution;
+      }
+      // Pin artificials at zero for phase 2 (their values are within the
+      // feasibility tolerance of zero at this point).
+      for (int j = art_begin_; j < total_cols_; ++j) {
+        lo_[j] = 0;
+        hi_[j] = 0;
+        xval_[j] = 0;
+      }
+    }
+
+    // Phase 2: the true objective.
+    SetPhase2Costs(problem);
+    RecomputeDuals();
+    const SolveStatus st = Iterate(max_iters, &solution.iterations);
+    solution.status = st;
+    if (st != SolveStatus::kOptimal) return solution;
+
+    solution.x.assign(xval_.begin(), xval_.begin() + num_struct_);
+    solution.objective = 0;
+    for (int j = 0; j < num_struct_; ++j) {
+      solution.objective += problem.obj(j) * solution.x[j];
+    }
+    RecomputeDuals();
+    solution.duals = y_;
+    return solution;
+  }
+
+ private:
+  static constexpr double kInf = kInfinity;
+
+  void BuildColumns(const LpProblem& problem) {
+    num_struct_ = problem.num_vars();
+    const LpProblem::Columns cols = problem.BuildColumns();
+
+    col_start_.assign(1, 0);
+    for (int j = 0; j < num_struct_; ++j) {
+      for (int p = cols.col_start[j]; p < cols.col_start[j + 1]; ++p) {
+        entry_row_.push_back(cols.row[p]);
+        entry_coef_.push_back(cols.coef[p]);
+      }
+      col_start_.push_back(static_cast<int>(entry_row_.size()));
+      lo_.push_back(problem.lo(j));
+      hi_.push_back(problem.hi(j));
+    }
+
+    // Slack columns: <= rows get +1 slack in [0, inf); >= rows get -1 slack
+    // in [0, inf); = rows get none.
+    slack_begin_ = num_struct_;
+    slack_col_of_row_.assign(m_, -1);
+    for (int i = 0; i < m_; ++i) {
+      const Sense s = problem.sense(i);
+      if (s == Sense::kEqual) continue;
+      const double coef = (s == Sense::kLessEqual) ? 1.0 : -1.0;
+      slack_col_of_row_[i] = static_cast<int>(col_start_.size()) - 1;
+      entry_row_.push_back(i);
+      entry_coef_.push_back(coef);
+      col_start_.push_back(static_cast<int>(entry_row_.size()));
+      lo_.push_back(0);
+      hi_.push_back(kInf);
+    }
+    art_begin_ = static_cast<int>(col_start_.size()) - 1;
+
+    rhs_.resize(m_);
+    rhs_norm_ = 0;
+    for (int i = 0; i < m_; ++i) {
+      rhs_[i] = problem.rhs(i);
+      rhs_norm_ = std::max(rhs_norm_, std::abs(rhs_[i]));
+    }
+  }
+
+  // Nonbasic structural variables start at their lower bound. Each row is
+  // made basic-feasible with its slack when the slack's sign allows it, or
+  // with a fresh artificial otherwise.
+  void InitBasis(const LpProblem& problem) {
+    const int pre_cols = art_begin_;
+    xval_.assign(pre_cols, 0.0);
+    at_upper_.assign(pre_cols, false);
+    for (int j = 0; j < num_struct_; ++j) xval_[j] = lo_[j];
+
+    // Row residuals with all current columns at their values.
+    std::vector<double> resid = rhs_;
+    for (int j = 0; j < num_struct_; ++j) {
+      if (xval_[j] == 0) continue;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+        resid[entry_row_[p]] -= entry_coef_[p] * xval_[j];
+      }
+    }
+
+    basis_.assign(m_, -1);
+    std::vector<double> basic_value(m_, 0.0);
+    num_art_ = 0;
+    for (int i = 0; i < m_; ++i) {
+      const Sense s = problem.sense(i);
+      const double r = resid[i];
+      const int sc = slack_col_of_row_[i];
+      bool use_slack = false;
+      if (s == Sense::kLessEqual && r >= 0) use_slack = true;
+      if (s == Sense::kGreaterEqual && r <= 0) use_slack = true;
+      if (use_slack) {
+        basis_[i] = sc;
+        basic_value[i] = std::abs(r);  // s = r for <=, s = -r for >=
+      } else {
+        // Artificial with coefficient sign matching the residual so its
+        // basic value is |r| >= 0.
+        const double coef = (r >= 0) ? 1.0 : -1.0;
+        entry_row_.push_back(i);
+        entry_coef_.push_back(coef);
+        col_start_.push_back(static_cast<int>(entry_row_.size()));
+        lo_.push_back(0);
+        hi_.push_back(kInf);
+        xval_.push_back(0);
+        at_upper_.push_back(false);
+        const int ac = static_cast<int>(col_start_.size()) - 2 + 1 - 1;
+        basis_[i] = ac;
+        basic_value[i] = std::abs(r);
+        ++num_art_;
+      }
+    }
+    total_cols_ = static_cast<int>(col_start_.size()) - 1;
+
+    basic_row_.assign(total_cols_, -1);
+    for (int i = 0; i < m_; ++i) {
+      basic_row_[basis_[i]] = i;
+      xval_[basis_[i]] = basic_value[i];
+    }
+
+    // The initial basis matrix is diagonal with entries +-1 (slacks and
+    // artificials are singleton columns).
+    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int c = basis_[i];
+      const double coef = entry_coef_[col_start_[c]];
+      binv_[static_cast<size_t>(i) * m_ + i] = 1.0 / coef;
+    }
+    cost_.assign(total_cols_, 0.0);
+  }
+
+  void SetPhase1Costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = art_begin_; j < total_cols_; ++j) cost_[j] = 1.0;
+  }
+
+  void SetPhase2Costs(const LpProblem& problem) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = 0; j < num_struct_; ++j) cost_[j] = problem.obj(j);
+  }
+
+  double CurrentObjective() const {
+    double obj = 0;
+    for (int j = 0; j < total_cols_; ++j) obj += cost_[j] * xval_[j];
+    return obj;
+  }
+
+  // y = c_B^T * Binv.
+  void RecomputeDuals() {
+    y_.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = cost_[basis_[i]];
+      if (cb == 0) continue;
+      const double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
+    }
+  }
+
+  double ReducedCost(int j) const {
+    double d = cost_[j];
+    for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+      d -= y_[entry_row_[p]] * entry_coef_[p];
+    }
+    return d;
+  }
+
+  // Recomputes x_B = Binv * (b - N x_N) to kill accumulated drift.
+  void RecomputeBasicValues() {
+    std::vector<double> r = rhs_;
+    for (int j = 0; j < total_cols_; ++j) {
+      if (basic_row_[j] >= 0 || xval_[j] == 0) continue;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+        r[entry_row_[p]] -= entry_coef_[p] * xval_[j];
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double* row = &binv_[static_cast<size_t>(i) * m_];
+      double v = 0;
+      for (int k = 0; k < m_; ++k) v += row[k] * r[k];
+      xval_[basis_[i]] = v;
+    }
+  }
+
+  // Rebuilds binv_ from the basis columns by Gauss-Jordan elimination with
+  // partial pivoting. CHECK-fails on a singular basis (cannot happen if the
+  // pivot steps kept |pivot| above tolerance).
+  void Refactorize() {
+    std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int c = basis_[i];
+      for (int p = col_start_[c]; p < col_start_[c + 1]; ++p) {
+        mat[static_cast<size_t>(entry_row_[p]) * m_ + i] = entry_coef_[p];
+      }
+    }
+    std::vector<double>& inv = binv_;
+    std::fill(inv.begin(), inv.end(), 0.0);
+    for (int i = 0; i < m_; ++i) inv[static_cast<size_t>(i) * m_ + i] = 1.0;
+    // Note: binv_ rows correspond to basis positions; we invert `mat` whose
+    // column i is the basis column at position i, producing mat^{-1} laid
+    // out so that row i of inv maps rhs-space to basis position i.
+    for (int col = 0; col < m_; ++col) {
+      int piv = -1;
+      double best = 0;
+      for (int r = col; r < m_; ++r) {
+        const double v = std::abs(mat[static_cast<size_t>(r) * m_ + col]);
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      SLP_CHECK(piv >= 0 && best > 1e-12);
+      if (piv != col) {
+        for (int k = 0; k < m_; ++k) {
+          std::swap(mat[static_cast<size_t>(piv) * m_ + k],
+                    mat[static_cast<size_t>(col) * m_ + k]);
+          std::swap(inv[static_cast<size_t>(piv) * m_ + k],
+                    inv[static_cast<size_t>(col) * m_ + k]);
+        }
+      }
+      const double p = mat[static_cast<size_t>(col) * m_ + col];
+      for (int k = 0; k < m_; ++k) {
+        mat[static_cast<size_t>(col) * m_ + k] /= p;
+        inv[static_cast<size_t>(col) * m_ + k] /= p;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = mat[static_cast<size_t>(r) * m_ + col];
+        if (f == 0) continue;
+        for (int k = 0; k < m_; ++k) {
+          mat[static_cast<size_t>(r) * m_ + k] -=
+              f * mat[static_cast<size_t>(col) * m_ + k];
+          inv[static_cast<size_t>(r) * m_ + k] -=
+              f * inv[static_cast<size_t>(col) * m_ + k];
+        }
+      }
+    }
+    // `inv` now satisfies inv * mat = I where mat's column i is basis col at
+    // position i; i.e., row i of inv extracts basis position i. But our
+    // pivot-update convention stores Binv with row i for basis position i as
+    // well, applied to original row space: mat[row][pos]. The Gauss-Jordan
+    // above inverted mat as written, giving inv = mat^{-1} with
+    // inv[pos][row] — exactly the layout binv_ uses.
+  }
+
+  double EnteringDelta(int j, double d) const {
+    // Positive improvement magnitude for an eligible nonbasic column.
+    if (!at_upper_[j] && d < -options_.optimality_tol) return -d;
+    if (at_upper_[j] && d > options_.optimality_tol && hi_[j] < kInf) return d;
+    return 0;
+  }
+
+  bool Eligible(int j) const {
+    return basic_row_[j] < 0 && lo_[j] < hi_[j];
+  }
+
+  // One phase of primal simplex on the current costs. Returns kOptimal when
+  // no eligible entering column remains.
+  SolveStatus Iterate(int max_iters, int* iteration_counter) {
+    int since_recompute = 0;
+    int since_refactor = 0;
+    int stall = 0;
+    bool bland = false;
+    bool verified = false;  // optimality confirmed with fresh duals
+    double last_obj = CurrentObjective();
+    int price_cursor = 0;
+
+    while (true) {
+      if (*iteration_counter >= max_iters) return SolveStatus::kIterationLimit;
+
+      // ---- Pricing ----
+      int q = -1;
+      double best_delta = 0;
+      if (bland) {
+        for (int j = 0; j < total_cols_; ++j) {
+          if (!Eligible(j)) continue;
+          if (EnteringDelta(j, ReducedCost(j)) > 0) {
+            q = j;
+            break;
+          }
+        }
+      } else {
+        const int window = std::max(200, total_cols_ / 8);
+        int scanned = 0;
+        int j = price_cursor;
+        while (scanned < total_cols_) {
+          if (Eligible(j)) {
+            const double delta = EnteringDelta(j, ReducedCost(j));
+            if (delta > best_delta) {
+              best_delta = delta;
+              q = j;
+            }
+          }
+          ++scanned;
+          ++j;
+          if (j >= total_cols_) j = 0;
+          if (q >= 0 && scanned >= window) break;
+        }
+        price_cursor = j;
+      }
+      if (q < 0) {
+        // The incremental duals drift; confirm optimality with a fresh
+        // recompute before declaring victory.
+        if (verified) return SolveStatus::kOptimal;
+        RecomputeBasicValues();
+        RecomputeDuals();
+        verified = true;
+        continue;
+      }
+      verified = false;
+
+      ++(*iteration_counter);
+
+      // ---- FTRAN: w = Binv * A_q ----
+      w_.assign(m_, 0.0);
+      for (int p = col_start_[q]; p < col_start_[q + 1]; ++p) {
+        const int row = entry_row_[p];
+        const double coef = entry_coef_[p];
+        for (int i = 0; i < m_; ++i) {
+          w_[i] += binv_[static_cast<size_t>(i) * m_ + row] * coef;
+        }
+      }
+
+      const double d_q = ReducedCost(q);
+      const double sigma = at_upper_[q] ? -1.0 : 1.0;
+
+      // ---- Ratio test ----
+      // Entering moves by theta >= 0 in direction sigma; basic i changes by
+      // -sigma * w_i * theta.
+      double theta = (hi_[q] < kInf) ? hi_[q] - lo_[q] : kInf;  // bound flip
+      int leave = -1;          // row index of leaving variable
+      double leave_pivot = 0;  // w_[leave]
+      bool leave_at_upper = false;
+      for (int i = 0; i < m_; ++i) {
+        const double delta = sigma * w_[i];
+        if (std::abs(delta) <= options_.pivot_tol) continue;
+        const int bcol = basis_[i];
+        double limit;
+        bool hits_upper;
+        if (delta > 0) {
+          limit = (xval_[bcol] - lo_[bcol]) / delta;
+          hits_upper = false;
+        } else {
+          if (hi_[bcol] >= kInf) continue;
+          limit = (hi_[bcol] - xval_[bcol]) / (-delta);
+          hits_upper = true;
+        }
+        if (limit < 0) limit = 0;
+        // Prefer strictly smaller limits; among near-ties take the larger
+        // pivot magnitude for stability (or the smaller index under Bland).
+        const bool better =
+            limit < theta - 1e-10 ||
+            (limit < theta + 1e-10 && leave >= 0 &&
+             (bland ? basis_[i] < basis_[leave]
+                    : std::abs(w_[i]) > std::abs(leave_pivot)));
+        if (better || (leave < 0 && limit < theta - 1e-10)) {
+          theta = std::min(theta, limit);
+          leave = i;
+          leave_pivot = w_[i];
+          leave_at_upper = hits_upper;
+        }
+      }
+
+      if (theta >= kInf) return SolveStatus::kUnbounded;
+
+      // ---- Apply the step ----
+      if (theta > 0) {
+        for (int i = 0; i < m_; ++i) {
+          if (w_[i] != 0) xval_[basis_[i]] -= sigma * theta * w_[i];
+        }
+      }
+
+      if (leave < 0) {
+        // Bound flip: q moves to its opposite bound; basis unchanged.
+        at_upper_[q] = !at_upper_[q];
+        xval_[q] = at_upper_[q] ? hi_[q] : lo_[q];
+      } else {
+        const int lcol = basis_[leave];
+        xval_[q] = (at_upper_[q] ? hi_[q] : lo_[q]) + sigma * theta;
+        // Snap the leaving variable onto the bound it reached.
+        xval_[lcol] = leave_at_upper ? hi_[lcol] : lo_[lcol];
+        at_upper_[lcol] = leave_at_upper;
+        basis_[leave] = q;
+        basic_row_[q] = leave;
+        basic_row_[lcol] = -1;
+
+        // ---- Update Binv (product form) ----
+        double* prow = &binv_[static_cast<size_t>(leave) * m_];
+        const double inv_pivot = 1.0 / leave_pivot;
+        for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+        for (int i = 0; i < m_; ++i) {
+          if (i == leave) continue;
+          const double f = w_[i];
+          if (f == 0) continue;
+          double* irow = &binv_[static_cast<size_t>(i) * m_];
+          for (int k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+        }
+        // Incremental dual update: y += d_q * (new row `leave` of Binv).
+        for (int k = 0; k < m_; ++k) y_[k] += d_q * prow[k];
+
+        ++since_recompute;
+        ++since_refactor;
+      }
+
+      // ---- Housekeeping ----
+      if (since_refactor >= options_.refactor_interval) {
+        Refactorize();
+        RecomputeBasicValues();
+        RecomputeDuals();
+        since_refactor = 0;
+        since_recompute = 0;
+      } else if (since_recompute >= options_.recompute_interval) {
+        RecomputeBasicValues();
+        RecomputeDuals();
+        since_recompute = 0;
+      }
+
+      const double obj = CurrentObjective();
+      if (obj < last_obj - 1e-12) {
+        stall = 0;
+        last_obj = obj;
+      } else if (++stall > options_.stall_threshold && !bland) {
+        bland = true;  // guarantee termination on degenerate instances
+        RecomputeDuals();
+      }
+    }
+  }
+
+  const SimplexOptions options_;
+  const int m_;  // rows
+
+  // Sparse columns, contiguous across [structural | slack | artificial].
+  std::vector<int> col_start_;
+  std::vector<int> entry_row_;
+  std::vector<double> entry_coef_;
+  std::vector<double> lo_, hi_, cost_, xval_;
+  std::vector<bool> at_upper_;
+  std::vector<double> rhs_;
+  double rhs_norm_ = 0;
+
+  int num_struct_ = 0;
+  int slack_begin_ = 0;
+  int art_begin_ = 0;
+  int total_cols_ = 0;
+  int num_art_ = 0;
+  std::vector<int> slack_col_of_row_;
+
+  std::vector<int> basis_;      // basis_[row] = column basic in that row
+  std::vector<int> basic_row_;  // inverse map, -1 when nonbasic
+  std::vector<double> binv_;    // dense m x m, row-major
+  std::vector<double> y_;       // duals
+  std::vector<double> w_;       // FTRAN scratch
+};
+
+}  // namespace
+
+LpSolution SimplexSolver::Solve(const LpProblem& problem) const {
+  SLP_CHECK(problem.num_constraints() > 0);
+  SLP_CHECK(problem.num_vars() > 0);
+  Tableau tableau(problem, options_);
+  return tableau.Run(problem);
+}
+
+}  // namespace slp::lp

@@ -1,0 +1,70 @@
+// Bounded-variable two-phase (primal) revised simplex.
+//
+// This is the LP engine behind LPRelax (Section IV-A.1). It supports
+// variables with finite lower bounds and possibly-infinite upper bounds,
+// <= / >= / = rows, infeasibility and unboundedness detection, Dantzig
+// pricing with a partial-pricing window, a Bland anti-cycling fallback, and
+// periodic refactorization of the dense basis inverse for numerical
+// hygiene.
+//
+// Intended problem sizes: up to a few thousand rows (the dense basis
+// inverse costs O(rows^2) memory and O(rows^2) work per pivot). SLP keeps
+// its LPs this small by construction — that is exactly the point of the
+// paper's coreset + sampling machinery.
+
+#ifndef SLP_LP_SIMPLEX_H_
+#define SLP_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lp/lp_problem.h"
+
+namespace slp::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* ToString(SolveStatus status);
+
+struct SimplexOptions {
+  // Hard cap on total pivots across both phases; <=0 means automatic
+  // (max(20000, 50 * rows)).
+  int max_iterations = 0;
+  // Recompute basic values / duals from scratch this often (pivots).
+  int recompute_interval = 500;
+  // Rebuild the basis inverse by Gauss-Jordan this often (pivots).
+  int refactor_interval = 3000;
+  // Consecutive non-improving pivots before switching to Bland's rule.
+  int stall_threshold = 2000;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-8;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0;
+  std::vector<double> x;      // primal values, one per problem variable
+  std::vector<double> duals;  // one per constraint (valid when optimal)
+  int iterations = 0;
+};
+
+// Solves `problem` (a minimization LP). Stateless across calls.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  LpSolution Solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace slp::lp
+
+#endif  // SLP_LP_SIMPLEX_H_

@@ -1,0 +1,82 @@
+#include "src/network/broker_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+
+namespace slp::net {
+
+BrokerTree::BrokerTree(geo::Point publisher_location) {
+  parent_.push_back(-1);
+  children_.emplace_back();
+  location_.push_back(std::move(publisher_location));
+}
+
+int BrokerTree::AddBroker(geo::Point location, int parent) {
+  SLP_CHECK(!finalized_);
+  SLP_CHECK(parent >= 0 && parent < num_nodes());
+  SLP_CHECK(location.size() == location_[0].size());
+  const int id = num_nodes();
+  parent_.push_back(parent);
+  children_.emplace_back();
+  location_.push_back(std::move(location));
+  children_[parent].push_back(id);
+  return id;
+}
+
+void BrokerTree::Finalize() {
+  SLP_CHECK(!finalized_);
+  SLP_CHECK(num_brokers() > 0);
+  finalized_ = true;
+  root_latency_.assign(num_nodes(), 0.0);
+  // Nodes are created parent-before-child, so a forward pass suffices.
+  for (int v = 1; v < num_nodes(); ++v) {
+    const int p = parent_[v];
+    SLP_CHECK(p < v);
+    root_latency_[v] =
+        root_latency_[p] + geo::Distance(location_[p], location_[v]);
+  }
+  leaves_.clear();
+  for (int v = 1; v < num_nodes(); ++v) {
+    if (children_[v].empty()) leaves_.push_back(v);
+  }
+}
+
+std::vector<int> BrokerTree::broker_nodes() const {
+  std::vector<int> out;
+  out.reserve(num_brokers());
+  for (int v = 1; v < num_nodes(); ++v) out.push_back(v);
+  return out;
+}
+
+std::vector<int> BrokerTree::PathFromRoot(int node) const {
+  std::vector<int> path;
+  for (int v = node; v != -1; v = parent_[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double BrokerTree::LatencyVia(int leaf, const geo::Point& sub_location) const {
+  SLP_CHECK(finalized_);
+  return root_latency_[leaf] + geo::Distance(location_[leaf], sub_location);
+}
+
+double BrokerTree::ShortestLatency(const geo::Point& sub_location) const {
+  SLP_CHECK(finalized_);
+  double best = std::numeric_limits<double>::infinity();
+  for (int leaf : leaves_) best = std::min(best, LatencyVia(leaf, sub_location));
+  return best;
+}
+
+int BrokerTree::Depth() const {
+  int depth = 0;
+  std::vector<int> d(num_nodes(), 0);
+  for (int v = 1; v < num_nodes(); ++v) {
+    d[v] = d[parent_[v]] + 1;
+    depth = std::max(depth, d[v]);
+  }
+  return depth;
+}
+
+}  // namespace slp::net

@@ -1,0 +1,81 @@
+// The dissemination network: a tree T of brokers rooted at the publisher,
+// embedded in the network space N (Section II).
+//
+// Node 0 is always the publisher P; nodes 1..n are brokers. Euclidean
+// distance between node locations approximates network latency (the paper
+// assumes coordinates produced by an Internet embedding such as Vivaldi;
+// this library synthesizes the coordinates directly).
+
+#ifndef SLP_NETWORK_BROKER_TREE_H_
+#define SLP_NETWORK_BROKER_TREE_H_
+
+#include <vector>
+
+#include "src/geometry/point.h"
+
+namespace slp::net {
+
+// Immutable after Finalize(). Provides the latency primitives the SA
+// problem needs: root-to-node path latency, root-to-subscriber latency via
+// a given leaf, and the shortest publisher-to-subscriber latency through
+// the tree (Δ in the paper's delay definition δ/Δ - 1).
+class BrokerTree {
+ public:
+  static constexpr int kPublisher = 0;
+
+  // Starts a tree whose root (node 0) is the publisher at `location`.
+  explicit BrokerTree(geo::Point publisher_location);
+
+  // Adds a broker under `parent` (which must already exist). Returns the
+  // new node id. Only valid before Finalize().
+  int AddBroker(geo::Point location, int parent);
+
+  // Computes leaf lists and path latencies. Must be called once, after
+  // which the tree is immutable. CHECK-fails if the publisher has no
+  // brokers.
+  void Finalize();
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+  int num_brokers() const { return num_nodes() - 1; }
+  int parent(int node) const { return parent_[node]; }
+  const std::vector<int>& children(int node) const { return children_[node]; }
+  const geo::Point& location(int node) const { return location_[node]; }
+  bool is_leaf(int node) const {
+    return node != kPublisher && children_[node].empty();
+  }
+
+  // Leaf brokers in increasing node-id order (computed by Finalize()).
+  const std::vector<int>& leaf_brokers() const { return leaves_; }
+
+  // Broker nodes (everything except the publisher), in id order.
+  std::vector<int> broker_nodes() const;
+
+  // Sum of edge latencies from the publisher to `node` (Finalize() first).
+  double PathLatencyFromRoot(int node) const { return root_latency_[node]; }
+
+  // Nodes from the publisher (inclusive) to `node` (inclusive).
+  std::vector<int> PathFromRoot(int node) const;
+
+  // Latency from publisher through the tree to `leaf`, plus the last hop to
+  // a subscriber at `sub_location`.
+  double LatencyVia(int leaf, const geo::Point& sub_location) const;
+
+  // Δ: min over leaf brokers of LatencyVia (the best possible latency for a
+  // subscriber at `sub_location`).
+  double ShortestLatency(const geo::Point& sub_location) const;
+
+  // Maximum depth (edges) over all nodes.
+  int Depth() const;
+
+ private:
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<geo::Point> location_;
+  std::vector<double> root_latency_;
+  std::vector<int> leaves_;
+  bool finalized_ = false;
+};
+
+}  // namespace slp::net
+
+#endif  // SLP_NETWORK_BROKER_TREE_H_

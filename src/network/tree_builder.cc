@@ -1,0 +1,80 @@
+#include "src/network/tree_builder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/status.h"
+#include "src/geometry/clustering.h"
+
+namespace slp::net {
+
+BrokerTree BuildOneLevelTree(const geo::Point& publisher,
+                             const std::vector<geo::Point>& brokers) {
+  SLP_CHECK(!brokers.empty());
+  BrokerTree tree(publisher);
+  for (const geo::Point& b : brokers) {
+    tree.AddBroker(b, BrokerTree::kPublisher);
+  }
+  tree.Finalize();
+  return tree;
+}
+
+namespace {
+
+// Recursively attaches the brokers indexed by `members` (into `locs`) under
+// `parent_node`.
+void AttachRecursive(BrokerTree* tree, const std::vector<geo::Point>& locs,
+                     std::vector<int> members, int parent_node,
+                     int max_out_degree, Rng& rng) {
+  if (members.empty()) return;
+  if (static_cast<int>(members.size()) <= max_out_degree) {
+    for (int idx : members) tree->AddBroker(locs[idx], parent_node);
+    return;
+  }
+  std::vector<geo::Point> pts;
+  pts.reserve(members.size());
+  for (int idx : members) pts.push_back(locs[idx]);
+  const geo::KMeansResult km = geo::KMeans(pts, max_out_degree, rng);
+  for (int c = 0; c < km.num_clusters(); ++c) {
+    // Representative: member closest to the cluster center becomes the
+    // subtree root; the rest recurse below it.
+    int rep = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < members.size(); ++t) {
+      if (km.labels[t] != c) continue;
+      const double d = geo::DistanceSquared(pts[t], km.centers[c]);
+      if (d < best) {
+        best = d;
+        rep = static_cast<int>(t);
+      }
+    }
+    SLP_CHECK(rep >= 0);
+    const int rep_node = tree->AddBroker(locs[members[rep]], parent_node);
+    std::vector<int> rest;
+    for (size_t t = 0; t < members.size(); ++t) {
+      if (km.labels[t] == c && static_cast<int>(t) != rep) {
+        rest.push_back(members[t]);
+      }
+    }
+    AttachRecursive(tree, locs, std::move(rest), rep_node, max_out_degree,
+                    rng);
+  }
+}
+
+}  // namespace
+
+BrokerTree BuildMultiLevelTree(const geo::Point& publisher,
+                               const std::vector<geo::Point>& brokers,
+                               int max_out_degree, Rng& rng) {
+  SLP_CHECK(!brokers.empty());
+  SLP_CHECK(max_out_degree >= 2);
+  BrokerTree tree(publisher);
+  std::vector<int> all(brokers.size());
+  for (size_t i = 0; i < brokers.size(); ++i) all[i] = static_cast<int>(i);
+  AttachRecursive(&tree, brokers, std::move(all), BrokerTree::kPublisher,
+                  max_out_degree, rng);
+  tree.Finalize();
+  return tree;
+}
+
+}  // namespace slp::net

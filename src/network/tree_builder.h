@@ -1,0 +1,34 @@
+// Construction of dissemination trees from broker locations.
+//
+// The paper evaluates one-level trees (all brokers attached to the
+// publisher) and multi-level trees with a maximum out-degree of 15 whose
+// shape "follows the topology of the underlying network" (Section V). The
+// multi-level builder realizes that by recursive k-means clustering in the
+// network space: each cluster becomes a subtree rooted at the cluster
+// member closest to its center.
+
+#ifndef SLP_NETWORK_TREE_BUILDER_H_
+#define SLP_NETWORK_TREE_BUILDER_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/network/broker_tree.h"
+
+namespace slp::net {
+
+// All brokers directly attached to the publisher; every broker is a leaf.
+BrokerTree BuildOneLevelTree(const geo::Point& publisher,
+                             const std::vector<geo::Point>& brokers);
+
+// A multi-level tree with out-degree at most `max_out_degree` (>= 2).
+// Internal brokers are real brokers (they carry filters and consume
+// bandwidth); subscribers attach only to leaves. Every input broker appears
+// exactly once.
+BrokerTree BuildMultiLevelTree(const geo::Point& publisher,
+                               const std::vector<geo::Point>& brokers,
+                               int max_out_degree, Rng& rng);
+
+}  // namespace slp::net
+
+#endif  // SLP_NETWORK_TREE_BUILDER_H_

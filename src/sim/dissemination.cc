@@ -1,0 +1,92 @@
+#include "src/sim/dissemination.h"
+
+#include "src/common/status.h"
+
+namespace slp::sim {
+
+namespace {
+
+// Routes one event from the publisher down the tree. Returns via `stats`.
+void RouteEvent(const core::SaProblem& problem,
+                const core::SaSolution& solution, const geo::Point& event,
+                const std::vector<std::vector<int>>& subs_of_leaf,
+                DisseminationStats* stats) {
+  const auto& tree = problem.tree();
+  // DFS from the publisher; enter a broker iff its filter contains the
+  // event (the paper's forwarding condition e ∈ f_i).
+  std::vector<int> stack(tree.children(net::BrokerTree::kPublisher).begin(),
+                         tree.children(net::BrokerTree::kPublisher).end());
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (!solution.filters[v].ContainsPoint(event)) continue;
+    ++stats->broker_hits[v];
+    ++stats->total_messages;
+    if (tree.is_leaf(v)) {
+      bool delivered_any = false;
+      for (int j : subs_of_leaf[v]) {
+        if (problem.subscriber(j).subscription.ContainsPoint(event)) {
+          ++stats->deliveries;
+          delivered_any = true;
+        }
+      }
+      if (!delivered_any) ++stats->wasted_leaf_hits;
+    } else {
+      for (int c : tree.children(v)) stack.push_back(c);
+    }
+  }
+  // Ground truth: every subscriber whose subscription matches must have
+  // been reachable (its leaf's filter chain must contain the event).
+  for (int j = 0; j < problem.num_subscribers(); ++j) {
+    if (!problem.subscriber(j).subscription.ContainsPoint(event)) continue;
+    // Walk up from the assigned leaf: all filters on the path must contain
+    // the event for delivery to have happened.
+    bool reached = true;
+    for (int v = solution.assignment[j]; v != net::BrokerTree::kPublisher;
+         v = problem.tree().parent(v)) {
+      if (!solution.filters[v].ContainsPoint(event)) {
+        reached = false;
+        break;
+      }
+    }
+    if (!reached) ++stats->missed_deliveries;
+  }
+}
+
+}  // namespace
+
+DisseminationStats Simulate(const core::SaProblem& problem,
+                            const core::SaSolution& solution,
+                            const std::vector<geo::Point>& events) {
+  SLP_CHECK(static_cast<int>(solution.filters.size()) ==
+            problem.tree().num_nodes());
+  DisseminationStats stats;
+  stats.broker_hits.assign(problem.tree().num_nodes(), 0);
+  std::vector<std::vector<int>> subs_of_leaf(problem.tree().num_nodes());
+  for (int j = 0; j < problem.num_subscribers(); ++j) {
+    subs_of_leaf[solution.assignment[j]].push_back(j);
+  }
+  for (const geo::Point& e : events) {
+    ++stats.events;
+    RouteEvent(problem, solution, e, subs_of_leaf, &stats);
+  }
+  return stats;
+}
+
+DisseminationStats SimulateUniform(const core::SaProblem& problem,
+                                   const core::SaSolution& solution,
+                                   const geo::Rectangle& event_box,
+                                   int num_events, Rng& rng) {
+  std::vector<geo::Point> events;
+  events.reserve(num_events);
+  for (int e = 0; e < num_events; ++e) {
+    geo::Point p(event_box.dim());
+    for (int d = 0; d < event_box.dim(); ++d) {
+      p[d] = rng.Uniform(event_box.lo(d), event_box.hi(d));
+    }
+    events.push_back(std::move(p));
+  }
+  return Simulate(problem, solution, events);
+}
+
+}  // namespace slp::sim

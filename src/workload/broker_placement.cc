@@ -1,0 +1,56 @@
+#include "src/workload/broker_placement.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace slp::wl {
+
+std::vector<geo::Point> PlaceBrokersLikeSubscribers(
+    const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng,
+    double jitter) {
+  SLP_CHECK(!subscriber_locations.empty());
+  SLP_CHECK(n > 0);
+  const int m = static_cast<int>(subscriber_locations.size());
+  std::vector<int> picks;
+  if (n <= m) {
+    picks = UniformSampleWithoutReplacement(m, n, rng);
+  } else {
+    picks.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      picks.push_back(static_cast<int>(rng.UniformInt(0, m - 1)));
+    }
+  }
+  std::vector<geo::Point> out;
+  out.reserve(n);
+  for (int idx : picks) {
+    geo::Point p = subscriber_locations[idx];
+    for (double& c : p) c += rng.Gaussian(0, jitter);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<geo::Point> PlaceBrokersUniform(
+    const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng) {
+  SLP_CHECK(!subscriber_locations.empty());
+  SLP_CHECK(n > 0);
+  const size_t dim = subscriber_locations[0].size();
+  geo::Point lo = subscriber_locations[0], hi = subscriber_locations[0];
+  for (const geo::Point& p : subscriber_locations) {
+    for (size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  std::vector<geo::Point> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    geo::Point p(dim);
+    for (size_t d = 0; d < dim; ++d) p[d] = rng.Uniform(lo[d], hi[d]);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace slp::wl

@@ -1,0 +1,32 @@
+// Broker placement in the network space.
+//
+// Workload set #1 sets "the distribution of brokers across the network
+// space ... to be roughly the same as that of the subscribers"
+// (Section VI); PlaceBrokersLikeSubscribers realizes that by sampling
+// subscriber locations with jitter. PlaceBrokersUniform is used by the
+// variations that decouple the distributions.
+
+#ifndef SLP_WORKLOAD_BROKER_PLACEMENT_H_
+#define SLP_WORKLOAD_BROKER_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/geometry/point.h"
+
+namespace slp::wl {
+
+// Draws `n` broker locations by sampling subscriber locations (without
+// replacement while possible) and adding Gaussian jitter of `jitter`.
+std::vector<geo::Point> PlaceBrokersLikeSubscribers(
+    const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng,
+    double jitter = 0.05);
+
+// Draws `n` broker locations uniformly from the bounding box of the
+// subscriber locations.
+std::vector<geo::Point> PlaceBrokersUniform(
+    const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng);
+
+}  // namespace slp::wl
+
+#endif  // SLP_WORKLOAD_BROKER_PLACEMENT_H_

@@ -1,0 +1,156 @@
+#include "src/workload/googlegroups.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/workload/broker_placement.h"
+
+namespace slp::wl {
+
+namespace {
+
+// Region layout in N = R^5. Distances between region centers are large
+// relative to the intra-region spread, mimicking inter-continent latencies.
+struct Region {
+  geo::Point center;
+  double spread;
+};
+
+std::vector<Region> MakeRegions() {
+  // Asia, North America, Europe. The publisher sits near the NA center.
+  return {
+      {{0.0, 0.0, 0.0, 0.2, 0.1}, 0.12},   // Asia
+      {{2.0, 0.3, 0.1, 0.0, 0.0}, 0.12},   // North America
+      {{1.0, 1.6, 0.0, 0.1, 0.2}, 0.12},   // Europe
+  };
+}
+
+geo::Point SampleAround(const Region& region, Rng& rng) {
+  geo::Point p = region.center;
+  for (double& c : p) c += rng.Gaussian(0, region.spread);
+  return p;
+}
+
+}  // namespace
+
+Workload GenerateGoogleGroups(const GoogleGroupsParams& params) {
+  SLP_CHECK(params.num_subscribers > 0);
+  SLP_CHECK(params.num_brokers > 0);
+  SLP_CHECK(params.num_topics > 0);
+  Rng rng(params.seed);
+
+  const std::vector<Region> regions = MakeRegions();
+  const int num_regions = static_cast<int>(regions.size());
+  // Subscriber ratio Asia : NA : Europe = 4 : 1 : 4.
+  const double region_cdf[3] = {4.0 / 9, 5.0 / 9, 1.0};
+
+  // ---- Topics ----
+  // Topic centers cluster into super-categories in [0,1]^2.
+  std::vector<geo::Point> super_centers;
+  for (int c = 0; c < params.num_super_categories; ++c) {
+    super_centers.push_back({rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)});
+  }
+  std::vector<geo::Point> topic_centers(params.num_topics);
+  std::vector<int> topic_home(params.num_topics);
+  for (int t = 0; t < params.num_topics; ++t) {
+    const geo::Point& sc =
+        super_centers[rng.UniformInt(0, params.num_super_categories - 1)];
+    topic_centers[t] = {std::clamp(sc[0] + rng.Gaussian(0, 0.04), 0.0, 1.0),
+                        std::clamp(sc[1] + rng.Gaussian(0, 0.04), 0.0, 1.0)};
+    topic_home[t] = static_cast<int>(rng.UniformInt(0, num_regions - 1));
+  }
+
+  const double skew = params.interest_skew == Level::kHigh ? params.skew_high
+                                                           : params.skew_low;
+  ZipfSampler popularity(params.num_topics, skew);
+
+  // Per-region topic samplers: renormalized Zipf over home-region topics.
+  std::vector<std::vector<int>> region_topics(num_regions);
+  for (int t = 0; t < params.num_topics; ++t) {
+    region_topics[topic_home[t]].push_back(t);
+  }
+  // Guard against an empty region (possible with few topics).
+  for (auto& rt : region_topics) {
+    if (rt.empty()) rt.push_back(0);
+  }
+
+  const double broad_prob = params.broad_interests == Level::kHigh
+                                ? params.broad_prob_high
+                                : params.broad_prob_low;
+
+  // ---- Subscribers ----
+  Workload w;
+  w.name = std::string("googlegroups(IS:") +
+           (params.interest_skew == Level::kHigh ? "H" : "L") + ", BI:" +
+           (params.broad_interests == Level::kHigh ? "H" : "L") + ")";
+  w.network_dim = 5;
+  w.event_dim = 2;
+  w.subscribers.reserve(params.num_subscribers);
+  for (int i = 0; i < params.num_subscribers; ++i) {
+    // Region by the 4:1:4 ratio.
+    const double u = rng.Uniform(0, 1);
+    int region = 0;
+    while (region + 1 < num_regions && u > region_cdf[region]) ++region;
+
+    // Topic: with probability `locality`, restricted to home-region topics
+    // (rank order preserved, so popular topics stay popular regionally).
+    int topic;
+    if (rng.Bernoulli(params.locality)) {
+      const auto& pool = region_topics[region];
+      ZipfSampler local(static_cast<int>(pool.size()), skew);
+      topic = pool[local.Sample(rng)];
+    } else {
+      topic = popularity.Sample(rng);
+    }
+
+    // Subscription rectangle around the topic center. Broad interests are
+    // markedly larger rectangles (coarse, catch-all subscriptions).
+    double wx, wy;
+    if (rng.Bernoulli(broad_prob)) {
+      wx = rng.Uniform(0.2, 0.5);
+      wy = rng.Uniform(0.2, 0.5);
+    } else {
+      wx = rng.Uniform(0.01, 0.06);
+      wy = rng.Uniform(0.01, 0.06);
+    }
+    const geo::Point& tc = topic_centers[topic];
+    const double cx = std::clamp(tc[0] + rng.Gaussian(0, 0.01), 0.0, 1.0);
+    const double cy = std::clamp(tc[1] + rng.Gaussian(0, 0.01), 0.0, 1.0);
+    // Clamp the rectangle into [0,1]^2.
+    std::vector<double> lo = {std::max(0.0, cx - wx / 2),
+                              std::max(0.0, cy - wy / 2)};
+    std::vector<double> hi = {std::min(1.0, cx + wx / 2),
+                              std::min(1.0, cy + wy / 2)};
+
+    Subscriber s;
+    s.location = SampleAround(regions[region], rng);
+    s.subscription = geo::Rectangle(std::move(lo), std::move(hi));
+    w.subscribers.push_back(std::move(s));
+  }
+
+  // Publisher near the North-America region center (a single origin, as in
+  // the paper's model).
+  w.publisher = regions[1].center;
+
+  // Brokers roughly follow the subscriber distribution.
+  std::vector<geo::Point> sub_locs;
+  sub_locs.reserve(w.subscribers.size());
+  for (const Subscriber& s : w.subscribers) sub_locs.push_back(s.location);
+  w.broker_locations =
+      PlaceBrokersLikeSubscribers(sub_locs, params.num_brokers, rng);
+  return w;
+}
+
+Workload GenerateGoogleGroupsVariant(Level is, Level bi, int num_subscribers,
+                                     int num_brokers, uint64_t seed) {
+  GoogleGroupsParams p;
+  p.num_subscribers = num_subscribers;
+  p.num_brokers = num_brokers;
+  p.interest_skew = is;
+  p.broad_interests = bi;
+  p.seed = seed;
+  return GenerateGoogleGroups(p);
+}
+
+}  // namespace slp::wl

@@ -1,0 +1,72 @@
+#include "src/workload/grid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/status.h"
+#include "src/workload/broker_placement.h"
+
+namespace slp::wl {
+
+Workload GenerateGrid(const GridParams& params) {
+  SLP_CHECK(params.num_subscribers > 0);
+  SLP_CHECK(params.num_brokers > 0);
+  SLP_CHECK(params.grid_cells_per_dim > 0);
+  SLP_CHECK(!params.width_set.empty());
+  Rng rng(params.seed);
+
+  Workload w;
+  w.name = "grid";
+  w.network_dim = 5;
+  w.event_dim = 2;
+
+  // Rank the grid cells in random order; Zipf over ranks creates hot spots.
+  const int g = params.grid_cells_per_dim;
+  const int num_cells = g * g;
+  std::vector<int> cell_of_rank(num_cells);
+  std::iota(cell_of_rank.begin(), cell_of_rank.end(), 0);
+  std::shuffle(cell_of_rank.begin(), cell_of_rank.end(), rng.engine());
+  ZipfSampler cell_zipf(num_cells, params.zipf_exponent);
+  ZipfSampler width_zipf(static_cast<int>(params.width_set.size()),
+                         params.zipf_exponent);
+
+  // Network locations: uniform cloud in R^5.
+  std::vector<geo::Point> locations;
+  locations.reserve(params.num_locations);
+  for (int l = 0; l < params.num_locations; ++l) {
+    geo::Point p(5);
+    for (double& c : p) c = rng.Uniform(0, 2);
+    locations.push_back(std::move(p));
+  }
+
+  const double cell_size = 1.0 / g;
+  w.subscribers.reserve(params.num_subscribers);
+  for (int i = 0; i < params.num_subscribers; ++i) {
+    const int cell = cell_of_rank[cell_zipf.Sample(rng)];
+    const double cx = (cell % g + 0.5) * cell_size;
+    const double cy = (cell / g + 0.5) * cell_size;
+    const double wx = params.width_set[width_zipf.Sample(rng)];
+    const double wy = params.width_set[width_zipf.Sample(rng)];
+    std::vector<double> lo = {std::max(0.0, cx - wx / 2),
+                              std::max(0.0, cy - wy / 2)};
+    std::vector<double> hi = {std::min(1.0, cx + wx / 2),
+                              std::min(1.0, cy + wy / 2)};
+    Subscriber s;
+    s.subscription = geo::Rectangle(std::move(lo), std::move(hi));
+    s.location = locations[rng.UniformInt(0, params.num_locations - 1)];
+    w.subscribers.push_back(std::move(s));
+  }
+
+  geo::Point pub(5);
+  for (double& c : pub) c = rng.Uniform(0, 2);
+  w.publisher = std::move(pub);
+
+  std::vector<geo::Point> sub_locs;
+  sub_locs.reserve(w.subscribers.size());
+  for (const Subscriber& s : w.subscribers) sub_locs.push_back(s.location);
+  w.broker_locations =
+      PlaceBrokersLikeSubscribers(sub_locs, params.num_brokers, rng, 0.1);
+  return w;
+}
+
+}  // namespace slp::wl

@@ -1,0 +1,38 @@
+// Workload set #3: grid hot-spot style, mimicking the workloads of
+// Sub-2-Sub [19] / ranked pub-sub [20] / distributed R-trees [21] as
+// described in Section VI:
+//  * the event space is partitioned into a 10x10 grid; a subscription's
+//    center snaps to a cell center;
+//  * cells are ranked in random order and picked by a Zipf distribution
+//    with exponent 0.5 (hot spots);
+//  * per-dimension widths come from a predefined width set, also Zipf 0.5;
+//  * subscriber locations are uniform over a fixed set of network
+//    locations, independent of interests.
+
+#ifndef SLP_WORKLOAD_GRID_H_
+#define SLP_WORKLOAD_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace slp::wl {
+
+struct GridParams {
+  int num_subscribers = 100000;
+  int num_brokers = 100;
+  int grid_cells_per_dim = 10;
+  std::vector<double> width_set = {0.02, 0.05, 0.1, 0.2, 0.4};
+  double zipf_exponent = 0.5;
+  int num_locations = 50;
+  uint64_t seed = 1;
+};
+
+// Generates a set-#3 workload in E = [0,1]^2, N = R^5. Deterministic in
+// `params.seed`.
+Workload GenerateGrid(const GridParams& params);
+
+}  // namespace slp::wl
+
+#endif  // SLP_WORKLOAD_GRID_H_

@@ -1,0 +1,61 @@
+#include "src/workload/rss.h"
+
+#include "src/common/status.h"
+#include "src/workload/broker_placement.h"
+
+namespace slp::wl {
+
+Workload GenerateRss(const RssParams& params) {
+  SLP_CHECK(params.num_subscribers > 0);
+  SLP_CHECK(params.num_brokers > 0);
+  SLP_CHECK(params.num_interests > 0);
+  SLP_CHECK(params.num_locations > 0);
+  Rng rng(params.seed);
+
+  Workload w;
+  w.name = "rss";
+  w.network_dim = 5;
+  w.event_dim = 2;
+
+  // Interests: unit squares at uniform positions.
+  std::vector<geo::Rectangle> interests;
+  interests.reserve(params.num_interests);
+  for (int i = 0; i < params.num_interests; ++i) {
+    const double x = rng.Uniform(0, params.event_extent - 1);
+    const double y = rng.Uniform(0, params.event_extent - 1);
+    interests.push_back(geo::Rectangle({x, y}, {x + 1, y + 1}));
+  }
+  ZipfSampler popularity(params.num_interests, params.zipf_exponent);
+
+  // Network locations: a handful of points spread over R^5.
+  std::vector<geo::Point> locations;
+  locations.reserve(params.num_locations);
+  for (int l = 0; l < params.num_locations; ++l) {
+    geo::Point p(5);
+    for (double& c : p) c = rng.Uniform(0, 2);
+    locations.push_back(std::move(p));
+  }
+
+  w.subscribers.reserve(params.num_subscribers);
+  for (int i = 0; i < params.num_subscribers; ++i) {
+    Subscriber s;
+    s.subscription = interests[popularity.Sample(rng)];
+    s.location = locations[rng.UniformInt(0, params.num_locations - 1)];
+    w.subscribers.push_back(std::move(s));
+  }
+
+  geo::Point pub(5);
+  for (double& c : pub) c = rng.Uniform(0, 2);
+  w.publisher = std::move(pub);
+
+  std::vector<geo::Point> sub_locs;
+  sub_locs.reserve(w.subscribers.size());
+  for (const Subscriber& s : w.subscribers) sub_locs.push_back(s.location);
+  // Brokers follow the (skewed) subscriber location distribution, as the
+  // paper notes for this set; jitter keeps them distinct points.
+  w.broker_locations =
+      PlaceBrokersLikeSubscribers(sub_locs, params.num_brokers, rng, 0.1);
+  return w;
+}
+
+}  // namespace slp::wl

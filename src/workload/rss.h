@@ -1,0 +1,38 @@
+// Workload set #2: RSS-popularity style, reproducing the workloads of
+// Corona [17] / XPORT-flavored evaluations [18], [5] as described in
+// Section VI:
+//  * 50 interests, popularity Zipf with exponent 0.5;
+//  * each interest maps to a random unit square in E (so subscriptions are
+//    essentially topic-based: all subscribers of an interest share the
+//    same rectangle);
+//  * subscriber locations drawn uniformly at random from 10 network
+//    locations, independent of interest;
+//  * no proximity structure in either space.
+
+#ifndef SLP_WORKLOAD_RSS_H_
+#define SLP_WORKLOAD_RSS_H_
+
+#include <cstdint>
+
+#include "src/workload/workload.h"
+
+namespace slp::wl {
+
+struct RssParams {
+  int num_subscribers = 100000;
+  int num_brokers = 100;
+  int num_interests = 50;
+  int num_locations = 10;
+  double zipf_exponent = 0.5;
+  // Side length of the event space; interests are unit squares placed
+  // uniformly inside [0, event_extent]^2.
+  double event_extent = 10.0;
+  uint64_t seed = 1;
+};
+
+// Generates a set-#2 workload. Deterministic in `params.seed`.
+Workload GenerateRss(const RssParams& params);
+
+}  // namespace slp::wl
+
+#endif  // SLP_WORKLOAD_RSS_H_

@@ -1,0 +1,37 @@
+// Common workload representation shared by the three generator families of
+// the paper's evaluation (Section VI).
+
+#ifndef SLP_WORKLOAD_WORKLOAD_H_
+#define SLP_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/geometry/rectangle.h"
+
+namespace slp::wl {
+
+// One subscriber: a location in the network space N and a rectangular
+// subscription in the event space E. (An individual with multiple
+// subscriptions is modeled as multiple subscribers at the same location —
+// paper, footnote 1.)
+struct Subscriber {
+  geo::Point location;
+  geo::Rectangle subscription;
+};
+
+// A generated workload: the publisher location, broker locations (not yet
+// arranged into a tree — see src/network/tree_builder.h), and subscribers.
+struct Workload {
+  std::string name;
+  int network_dim = 0;
+  int event_dim = 0;
+  geo::Point publisher;
+  std::vector<geo::Point> broker_locations;
+  std::vector<Subscriber> subscribers;
+};
+
+}  // namespace slp::wl
+
+#endif  // SLP_WORKLOAD_WORKLOAD_H_

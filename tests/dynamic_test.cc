@@ -1,0 +1,156 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dynamic.h"
+#include "src/core/greedy.h"
+#include "src/core/metrics.h"
+#include "src/network/tree_builder.h"
+#include "src/workload/googlegroups.h"
+
+namespace slp::core {
+namespace {
+
+using geo::Rectangle;
+
+wl::Subscriber MakeSub(double x, double y, double cx, double w) {
+  wl::Subscriber s;
+  s.location = {x, y};
+  s.subscription = Rectangle({cx, cx}, {cx + w, cx + w});
+  return s;
+}
+
+net::BrokerTree TwoBrokerTree() {
+  net::BrokerTree tree({0, 0});
+  tree.AddBroker({1, 0}, net::BrokerTree::kPublisher);
+  tree.AddBroker({-1, 0}, net::BrokerTree::kPublisher);
+  tree.Finalize();
+  return tree;
+}
+
+SaConfig LooseConfig() {
+  SaConfig config;
+  config.max_delay = 3.0;
+  config.alpha = 2;
+  return config;
+}
+
+TEST(DynamicTest, AddAssignsAndCovers) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  EXPECT_GE(h, 0);
+  EXPECT_EQ(dyn.live_count(), 1);
+  auto [problem, solution] = dyn.Snapshot();
+  // The online filters must cover the live subscription at its leaf.
+  const int leaf = solution.assignment[0];
+  EXPECT_TRUE(solution.filters[leaf].CoversRect(
+      problem.subscriber(0).subscription));
+}
+
+TEST(DynamicTest, RemoveReleasesCapacityButKeepsFilters) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  const double bw_before = dyn.CurrentBandwidth();
+  dyn.Remove(h);
+  EXPECT_EQ(dyn.live_count(), 0);
+  EXPECT_EQ(dyn.loads()[0] + dyn.loads()[1], 0);
+  // Stale filters remain until reoptimization.
+  EXPECT_DOUBLE_EQ(dyn.CurrentBandwidth(), bw_before);
+}
+
+TEST(DynamicTest, HandleReuseAfterRemoval) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  const int h1 = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  dyn.Remove(h1);
+  const int h2 = dyn.Add(MakeSub(0, 1, 0.5, 0.1));
+  EXPECT_EQ(h1, h2);  // slot reused
+  EXPECT_EQ(dyn.live_count(), 1);
+}
+
+TEST(DynamicTest, LoadCapsRespectedOnline) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  // 10 identical subscribers: caps β=1.5 → 7.5 per broker; nobody may
+  // exceed 8 even though all prefer the same filter growth.
+  for (int i = 0; i < 10; ++i) {
+    dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  }
+  EXPECT_LE(dyn.loads()[0], 8);
+  EXPECT_LE(dyn.loads()[1], 8);
+  EXPECT_EQ(dyn.loads()[0] + dyn.loads()[1], 10);
+}
+
+TEST(DynamicTest, ChurnCreatesStalenessReoptimizeReclaims) {
+  Rng rng(1);
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 60);
+  // Phase 1: subscribers interested in topic A (around 0.1).
+  std::vector<int> phase1;
+  for (int i = 0; i < 30; ++i) {
+    phase1.push_back(dyn.Add(MakeSub(rng.Uniform(-1, 1), 1,
+                                     rng.Uniform(0.05, 0.15), 0.05)));
+  }
+  // Phase 2: topic A leaves; topic B (around 0.8) arrives.
+  for (int h : phase1) dyn.Remove(h);
+  for (int i = 0; i < 30; ++i) {
+    dyn.Add(MakeSub(rng.Uniform(-1, 1), 1, rng.Uniform(0.75, 0.85), 0.05));
+  }
+  const double stale = dyn.CurrentBandwidth();
+  const double tight = dyn.TightBandwidth(rng);
+  EXPECT_GT(stale, tight * 1.5) << "churn should leave substantial slack";
+
+  dyn.Reoptimize(
+      [](const SaProblem& p, Rng& r) { return RunGrStar(p, r); }, rng);
+  const double after = dyn.CurrentBandwidth();
+  EXPECT_LT(after, stale);
+  EXPECT_LE(after, tight * 1.5 + 1e-9);
+  // Post-reoptimization state is a fully valid solution.
+  auto [problem, solution] = dyn.Snapshot();
+  ValidationOptions opts;
+  opts.check_load = false;
+  EXPECT_TRUE(ValidateSolution(problem, solution, opts).ok());
+}
+
+TEST(DynamicTest, SnapshotMetricsMatchLiveState) {
+  Rng rng(2);
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(wl::Level::kHigh,
+                                                   wl::Level::kLow, 200, 6, 3);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  config.max_delay = 1.0;
+  DynamicAssigner dyn(std::move(tree), config, 200);
+  for (const auto& s : w.subscribers) dyn.Add(s);
+  auto [problem, solution] = dyn.Snapshot();
+  EXPECT_EQ(problem.num_subscribers(), 200);
+  const auto loads = LeafLoads(problem, solution);
+  int total = 0;
+  for (size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_EQ(loads[i], dyn.loads()[i]);
+    total += loads[i];
+  }
+  EXPECT_EQ(total, 200);
+  EXPECT_NEAR(ComputeMetrics(problem, solution).total_bandwidth,
+              dyn.CurrentBandwidth(), 1e-9);
+}
+
+TEST(DynamicTest, OnlineQualityWithinReachOfOffline) {
+  // Online Gr-style placement should stay within a modest factor of a full
+  // offline Gr* over the same final population.
+  Rng rng(3);
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(wl::Level::kHigh,
+                                                   wl::Level::kLow, 400, 8, 5);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  DynamicAssigner dyn(tree, config, 400);
+  for (const auto& s : w.subscribers) dyn.Add(s);
+  const double online_bw = dyn.CurrentBandwidth();
+
+  SaProblem problem(std::move(tree), std::move(w.subscribers), config);
+  Rng rng2(3);
+  const double offline_bw =
+      ComputeMetrics(problem, RunGrStar(problem, rng2)).total_bandwidth;
+  EXPECT_LT(online_bw, 3 * offline_bw);
+}
+
+}  // namespace
+}  // namespace slp::core

@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/network/broker_tree.h"
+#include "src/network/tree_builder.h"
+
+namespace slp::net {
+namespace {
+
+TEST(BrokerTreeTest, OneLevelBasics) {
+  BrokerTree t({0, 0});
+  int b1 = t.AddBroker({3, 4}, BrokerTree::kPublisher);
+  int b2 = t.AddBroker({0, 1}, BrokerTree::kPublisher);
+  t.Finalize();
+
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.num_brokers(), 2);
+  EXPECT_TRUE(t.is_leaf(b1));
+  EXPECT_TRUE(t.is_leaf(b2));
+  EXPECT_FALSE(t.is_leaf(BrokerTree::kPublisher));
+  EXPECT_EQ(t.leaf_brokers().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.PathLatencyFromRoot(b1), 5.0);
+  EXPECT_DOUBLE_EQ(t.PathLatencyFromRoot(b2), 1.0);
+  EXPECT_EQ(t.Depth(), 1);
+}
+
+TEST(BrokerTreeTest, MultiLevelPathLatencyAccumulates) {
+  BrokerTree t({0, 0});
+  int a = t.AddBroker({1, 0}, BrokerTree::kPublisher);
+  int b = t.AddBroker({1, 2}, a);
+  int c = t.AddBroker({4, 6}, b);
+  t.Finalize();
+  EXPECT_DOUBLE_EQ(t.PathLatencyFromRoot(a), 1.0);
+  EXPECT_DOUBLE_EQ(t.PathLatencyFromRoot(b), 3.0);
+  EXPECT_DOUBLE_EQ(t.PathLatencyFromRoot(c), 8.0);
+  EXPECT_EQ(t.Depth(), 3);
+  EXPECT_FALSE(t.is_leaf(a));
+  EXPECT_FALSE(t.is_leaf(b));
+  EXPECT_TRUE(t.is_leaf(c));
+  // Only c is a leaf broker.
+  EXPECT_EQ(t.leaf_brokers(), (std::vector<int>{c}));
+}
+
+TEST(BrokerTreeTest, PathFromRoot) {
+  BrokerTree t({0, 0});
+  int a = t.AddBroker({1, 0}, BrokerTree::kPublisher);
+  int b = t.AddBroker({2, 0}, a);
+  t.Finalize();
+  EXPECT_EQ(t.PathFromRoot(b), (std::vector<int>{BrokerTree::kPublisher, a, b}));
+  EXPECT_EQ(t.PathFromRoot(BrokerTree::kPublisher),
+            (std::vector<int>{BrokerTree::kPublisher}));
+}
+
+TEST(BrokerTreeTest, LatencyViaAddsLastHop) {
+  BrokerTree t({0, 0});
+  int a = t.AddBroker({3, 4}, BrokerTree::kPublisher);
+  t.Finalize();
+  geo::Point sub = {3, 4 + 2};
+  EXPECT_DOUBLE_EQ(t.LatencyVia(a, sub), 5.0 + 2.0);
+}
+
+TEST(BrokerTreeTest, ShortestLatencyIsMinOverLeaves) {
+  BrokerTree t({0, 0});
+  t.AddBroker({10, 0}, BrokerTree::kPublisher);
+  int near = t.AddBroker({1, 0}, BrokerTree::kPublisher);
+  t.Finalize();
+  geo::Point sub = {2, 0};
+  EXPECT_DOUBLE_EQ(t.ShortestLatency(sub), t.LatencyVia(near, sub));
+}
+
+TEST(BrokerTreeTest, ShortestLatencyCanPreferFartherLeafWithShorterPath) {
+  // Leaf A is close to the sub but hangs off a long path; leaf B is direct.
+  BrokerTree t({0, 0});
+  int mid = t.AddBroker({0, 20}, BrokerTree::kPublisher);
+  t.AddBroker({5, 20}, mid);          // leaf A: path 25 + last hop
+  int b = t.AddBroker({6, 0}, BrokerTree::kPublisher);  // leaf B: path 6
+  t.Finalize();
+  geo::Point sub = {5, 19};
+  EXPECT_DOUBLE_EQ(t.ShortestLatency(sub), t.LatencyVia(b, sub));
+}
+
+TEST(TreeBuilderTest, OneLevelTreeShape) {
+  Rng rng(1);
+  std::vector<geo::Point> brokers;
+  for (int i = 0; i < 20; ++i) {
+    brokers.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  BrokerTree t = BuildOneLevelTree({0.5, 0.5}, brokers);
+  EXPECT_EQ(t.num_brokers(), 20);
+  EXPECT_EQ(t.leaf_brokers().size(), 20u);
+  EXPECT_EQ(t.Depth(), 1);
+  for (int v : t.broker_nodes()) {
+    EXPECT_EQ(t.parent(v), BrokerTree::kPublisher);
+  }
+}
+
+class MultiLevelTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiLevelTreeTest, RespectsOutDegreeAndContainsAllBrokers) {
+  Rng rng(100 + GetParam());
+  const int n = 20 + static_cast<int>(rng.UniformInt(0, 300));
+  const int max_deg = 3 + static_cast<int>(rng.UniformInt(0, 12));
+  std::vector<geo::Point> brokers;
+  for (int i = 0; i < n; ++i) {
+    brokers.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10),
+                       rng.Uniform(0, 10)});
+  }
+  BrokerTree t = BuildMultiLevelTree({5, 5, 5}, brokers, max_deg, rng);
+  EXPECT_EQ(t.num_brokers(), n);
+  // Out-degree bound holds everywhere.
+  for (int v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_LE(static_cast<int>(t.children(v).size()), max_deg)
+        << "node " << v;
+  }
+  // Every broker location appears exactly once (multiset equality).
+  std::multiset<double> want, got;
+  for (const auto& b : brokers) want.insert(b[0] + 1000 * b[1]);
+  for (int v : t.broker_nodes()) {
+    got.insert(t.location(v)[0] + 1000 * t.location(v)[1]);
+  }
+  EXPECT_EQ(want, got);
+  // There is at least one leaf, and leaves have no children.
+  ASSERT_FALSE(t.leaf_brokers().empty());
+  for (int leaf : t.leaf_brokers()) EXPECT_TRUE(t.is_leaf(leaf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiLevelTreeTest, ::testing::Range(0, 20));
+
+TEST(MultiLevelTreeTest, SmallInputBecomesOneLevel) {
+  Rng rng(7);
+  std::vector<geo::Point> brokers = {{1, 1}, {2, 2}, {3, 3}};
+  BrokerTree t = BuildMultiLevelTree({0, 0}, brokers, 15, rng);
+  EXPECT_EQ(t.Depth(), 1);
+  EXPECT_EQ(t.num_brokers(), 3);
+}
+
+TEST(MultiLevelTreeTest, DeepTreeForTinyOutDegree) {
+  Rng rng(8);
+  std::vector<geo::Point> brokers;
+  for (int i = 0; i < 64; ++i) {
+    brokers.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  BrokerTree t = BuildMultiLevelTree({0.5, 0.5}, brokers, 2, rng);
+  EXPECT_EQ(t.num_brokers(), 64);
+  EXPECT_GE(t.Depth(), 4);  // 2-ary tree over 64 nodes is at least depth 5
+}
+
+TEST(MultiLevelTreeTest, TopologyFollowsClusters) {
+  // Two far-apart blobs of brokers: the tree should not weave between blobs
+  // (children of a subtree root stay in its blob), which we check loosely
+  // via edge lengths: most edges should be short relative to the blob gap.
+  Rng rng(9);
+  std::vector<geo::Point> brokers;
+  for (int i = 0; i < 30; ++i) {
+    brokers.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    brokers.push_back({100 + rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  BrokerTree t = BuildMultiLevelTree({50, 0}, brokers, 5, rng);
+  int long_edges = 0;
+  for (int v : t.broker_nodes()) {
+    if (t.parent(v) == BrokerTree::kPublisher) continue;
+    if (geo::Distance(t.location(v), t.location(t.parent(v))) > 50) {
+      ++long_edges;
+    }
+  }
+  EXPECT_LE(long_edges, 2);
+}
+
+}  // namespace
+}  // namespace slp::net

@@ -1,0 +1,280 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/workload/broker_placement.h"
+#include "src/workload/googlegroups.h"
+#include "src/workload/grid.h"
+#include "src/workload/rss.h"
+
+namespace slp::wl {
+namespace {
+
+TEST(BrokerPlacementTest, LikeSubscribersTracksDistribution) {
+  Rng rng(1);
+  // Two blobs of subscriber locations, 80/20 split.
+  std::vector<geo::Point> locs;
+  for (int i = 0; i < 800; ++i) locs.push_back({rng.Gaussian(0, 0.1), 0});
+  for (int i = 0; i < 200; ++i) locs.push_back({rng.Gaussian(10, 0.1), 0});
+  auto brokers = PlaceBrokersLikeSubscribers(locs, 100, rng);
+  ASSERT_EQ(brokers.size(), 100u);
+  int near0 = 0;
+  for (const auto& b : brokers) near0 += (b[0] < 5);
+  EXPECT_GT(near0, 60);
+  EXPECT_LT(near0, 97);
+}
+
+TEST(BrokerPlacementTest, MoreBrokersThanSubscribersAllowed) {
+  Rng rng(2);
+  std::vector<geo::Point> locs = {{0, 0}, {1, 1}};
+  auto brokers = PlaceBrokersLikeSubscribers(locs, 10, rng);
+  EXPECT_EQ(brokers.size(), 10u);
+}
+
+TEST(BrokerPlacementTest, UniformStaysInBoundingBox) {
+  Rng rng(3);
+  std::vector<geo::Point> locs = {{0, -1}, {2, 3}};
+  auto brokers = PlaceBrokersUniform(locs, 50, rng);
+  for (const auto& b : brokers) {
+    EXPECT_GE(b[0], 0);
+    EXPECT_LE(b[0], 2);
+    EXPECT_GE(b[1], -1);
+    EXPECT_LE(b[1], 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Set #1: Google-Groups-like
+// ---------------------------------------------------------------------------
+
+GoogleGroupsParams SmallGg(Level is, Level bi, uint64_t seed = 7) {
+  GoogleGroupsParams p;
+  p.num_subscribers = 5000;
+  p.num_brokers = 30;
+  p.interest_skew = is;
+  p.broad_interests = bi;
+  p.seed = seed;
+  return p;
+}
+
+TEST(GoogleGroupsTest, ShapeAndDeterminism) {
+  Workload a = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow));
+  EXPECT_EQ(a.network_dim, 5);
+  EXPECT_EQ(a.event_dim, 2);
+  EXPECT_EQ(a.subscribers.size(), 5000u);
+  EXPECT_EQ(a.broker_locations.size(), 30u);
+  EXPECT_EQ(a.publisher.size(), 5u);
+  EXPECT_EQ(a.name, "googlegroups(IS:H, BI:L)");
+  for (const Subscriber& s : a.subscribers) {
+    EXPECT_EQ(s.location.size(), 5u);
+    EXPECT_EQ(s.subscription.dim(), 2);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_GE(s.subscription.lo(d), 0.0);
+      EXPECT_LE(s.subscription.hi(d), 1.0);
+    }
+  }
+  Workload b = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow));
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.subscribers[i].location, b.subscribers[i].location);
+    EXPECT_TRUE(a.subscribers[i].subscription == b.subscribers[i].subscription);
+  }
+}
+
+TEST(GoogleGroupsTest, RegionRatioRoughly414) {
+  Workload w = GenerateGoogleGroups(SmallGg(Level::kLow, Level::kLow));
+  // Region centers along dim 0: Asia ~0, NA ~2, Europe ~1 (dim1 ~1.6).
+  int asia = 0, na = 0, eu = 0;
+  for (const Subscriber& s : w.subscribers) {
+    if (s.location[1] > 0.9) {
+      ++eu;
+    } else if (s.location[0] > 1.2) {
+      ++na;
+    } else {
+      ++asia;
+    }
+  }
+  const double m = static_cast<double>(w.subscribers.size());
+  EXPECT_NEAR(asia / m, 4.0 / 9, 0.05);
+  EXPECT_NEAR(na / m, 1.0 / 9, 0.05);
+  EXPECT_NEAR(eu / m, 4.0 / 9, 0.05);
+}
+
+TEST(GoogleGroupsTest, BroadInterestLevelControlsLargeRects) {
+  Workload lo = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow));
+  Workload hi = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kHigh));
+  auto count_broad = [](const Workload& w) {
+    int n = 0;
+    for (const Subscriber& s : w.subscribers) {
+      n += (s.subscription.length(0) > 0.15 || s.subscription.length(1) > 0.15);
+    }
+    return n;
+  };
+  const int broad_lo = count_broad(lo);
+  const int broad_hi = count_broad(hi);
+  EXPECT_LT(broad_lo, 0.10 * lo.subscribers.size());
+  EXPECT_GT(broad_hi, 0.15 * hi.subscribers.size());
+  EXPECT_GT(broad_hi, 2 * broad_lo);
+}
+
+TEST(GoogleGroupsTest, HighSkewConcentratesInterests) {
+  // Bucket subscription centers onto a coarse grid and compare the share of
+  // the most popular bucket under low vs high skew.
+  auto top_share = [](const Workload& w) {
+    std::map<std::pair<int, int>, int> buckets;
+    for (const Subscriber& s : w.subscribers) {
+      auto c = s.subscription.Center();
+      ++buckets[{static_cast<int>(c[0] * 50), static_cast<int>(c[1] * 50)}];
+    }
+    int best = 0;
+    for (const auto& [k, v] : buckets) best = std::max(best, v);
+    return best / static_cast<double>(w.subscribers.size());
+  };
+  const double lo = top_share(GenerateGoogleGroups(SmallGg(Level::kLow, Level::kLow)));
+  const double hi = top_share(GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow)));
+  EXPECT_GT(hi, lo);
+}
+
+TEST(GoogleGroupsTest, DifferentSeedsDiffer) {
+  Workload a = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow, 1));
+  Workload b = GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow, 2));
+  int diff = 0;
+  for (size_t i = 0; i < a.subscribers.size(); ++i) {
+    diff += !(a.subscribers[i].subscription == b.subscribers[i].subscription);
+  }
+  EXPECT_GT(diff, 1000);
+}
+
+TEST(GoogleGroupsTest, VariantHelperMatchesParams) {
+  Workload w = GenerateGoogleGroupsVariant(Level::kLow, Level::kHigh, 100, 5, 3);
+  EXPECT_EQ(w.subscribers.size(), 100u);
+  EXPECT_EQ(w.broker_locations.size(), 5u);
+  EXPECT_EQ(w.name, "googlegroups(IS:L, BI:H)");
+}
+
+// ---------------------------------------------------------------------------
+// Set #2: RSS
+// ---------------------------------------------------------------------------
+
+TEST(RssTest, TopicStructure) {
+  RssParams p;
+  p.num_subscribers = 5000;
+  p.num_brokers = 20;
+  p.seed = 11;
+  Workload w = GenerateRss(p);
+  EXPECT_EQ(w.subscribers.size(), 5000u);
+  // At most 50 distinct subscriptions (unit squares) and 10 locations.
+  std::set<std::pair<double, double>> rects;
+  std::set<double> locs;
+  for (const Subscriber& s : w.subscribers) {
+    rects.insert({s.subscription.lo(0), s.subscription.lo(1)});
+    locs.insert(s.location[0] * 7 + s.location[1]);
+    EXPECT_NEAR(s.subscription.length(0), 1.0, 1e-12);
+    EXPECT_NEAR(s.subscription.length(1), 1.0, 1e-12);
+  }
+  EXPECT_LE(rects.size(), 50u);
+  EXPECT_GE(rects.size(), 30u);  // most interests should appear
+  EXPECT_LE(locs.size(), 10u);
+}
+
+TEST(RssTest, PopularityIsSkewed) {
+  RssParams p;
+  p.num_subscribers = 20000;
+  p.num_brokers = 10;
+  p.seed = 12;
+  Workload w = GenerateRss(p);
+  std::map<std::pair<double, double>, int> counts;
+  for (const Subscriber& s : w.subscribers) {
+    ++counts[{s.subscription.lo(0), s.subscription.lo(1)}];
+  }
+  std::vector<int> sorted;
+  for (const auto& [k, v] : counts) sorted.push_back(v);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Zipf(0.5) over 50 interests: top interest ~ 7x the median-ish tail.
+  EXPECT_GT(sorted.front(), 3 * sorted.back());
+}
+
+// ---------------------------------------------------------------------------
+// Set #3: grid
+// ---------------------------------------------------------------------------
+
+TEST(GridTest, CentersSnapToCells) {
+  GridParams p;
+  p.num_subscribers = 3000;
+  p.num_brokers = 10;
+  p.seed = 21;
+  Workload w = GenerateGrid(p);
+  for (const Subscriber& s : w.subscribers) {
+    // Unclamped center must be a cell center: (k + 0.5)/10. The clamped
+    // rectangle center can shift only if the rect was clipped at a border.
+    const double cx = s.subscription.Center()[0];
+    const double cy = s.subscription.Center()[1];
+    auto near_cell = [](double c) {
+      const double scaled = c * 10 - 0.5;
+      return std::abs(scaled - std::round(scaled)) < 0.25;
+    };
+    EXPECT_TRUE(near_cell(cx) || s.subscription.lo(0) == 0.0 ||
+                s.subscription.hi(0) == 1.0);
+    EXPECT_TRUE(near_cell(cy) || s.subscription.lo(1) == 0.0 ||
+                s.subscription.hi(1) == 1.0);
+  }
+}
+
+TEST(GridTest, WidthsComeFromWidthSet) {
+  GridParams p;
+  p.num_subscribers = 3000;
+  p.num_brokers = 10;
+  p.seed = 22;
+  Workload w = GenerateGrid(p);
+  for (const Subscriber& s : w.subscribers) {
+    for (int d = 0; d < 2; ++d) {
+      const double len = s.subscription.length(d);
+      // Width is from the set unless clipped at the border.
+      bool in_set = false;
+      for (double want : p.width_set) {
+        if (std::abs(len - want) < 1e-9) in_set = true;
+      }
+      EXPECT_TRUE(in_set || s.subscription.lo(d) == 0.0 ||
+                  s.subscription.hi(d) == 1.0)
+          << "len=" << len;
+    }
+  }
+}
+
+TEST(GridTest, HotSpotsExist) {
+  GridParams p;
+  p.num_subscribers = 20000;
+  p.num_brokers = 10;
+  p.seed = 23;
+  Workload w = GenerateGrid(p);
+  std::map<std::pair<int, int>, int> cells;
+  for (const Subscriber& s : w.subscribers) {
+    auto c = s.subscription.Center();
+    ++cells[{static_cast<int>(c[0] * 10), static_cast<int>(c[1] * 10)}];
+  }
+  std::vector<int> sorted;
+  for (const auto& [k, v] : cells) sorted.push_back(v);
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted.front(), 2 * sorted[sorted.size() / 2]);
+}
+
+TEST(GridTest, LocationsIndependentOfInterest) {
+  GridParams p;
+  p.num_subscribers = 10000;
+  p.num_brokers = 10;
+  p.num_locations = 5;
+  p.seed = 24;
+  Workload w = GenerateGrid(p);
+  std::set<double> locs;
+  for (const Subscriber& s : w.subscribers) {
+    locs.insert(s.location[0] * 13 + s.location[1]);
+  }
+  EXPECT_LE(locs.size(), 5u);
+}
+
+}  // namespace
+}  // namespace slp::wl
