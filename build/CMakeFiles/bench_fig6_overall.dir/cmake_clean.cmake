@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_overall.dir/bench/bench_fig6_overall.cc.o"
+  "CMakeFiles/bench_fig6_overall.dir/bench/bench_fig6_overall.cc.o.d"
+  "bench/bench_fig6_overall"
+  "bench/bench_fig6_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_multilevel.cc" "CMakeFiles/bench_fig8_multilevel.dir/bench/bench_fig8_multilevel.cc.o" "gcc" "CMakeFiles/bench_fig8_multilevel.dir/bench/bench_fig8_multilevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multilevel.dir/bench/bench_fig8_multilevel.cc.o"
+  "CMakeFiles/bench_fig8_multilevel.dir/bench/bench_fig8_multilevel.cc.o.d"
+  "bench/bench_fig8_multilevel"
+  "bench/bench_fig8_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multilevel_detail.dir/bench/bench_fig9_multilevel_detail.cc.o"
+  "CMakeFiles/bench_fig9_multilevel_detail.dir/bench/bench_fig9_multilevel_detail.cc.o.d"
+  "bench/bench_fig9_multilevel_detail"
+  "bench/bench_fig9_multilevel_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multilevel_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

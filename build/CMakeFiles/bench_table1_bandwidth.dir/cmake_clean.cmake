@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bandwidth.dir/bench/bench_table1_bandwidth.cc.o"
+  "CMakeFiles/bench_table1_bandwidth.dir/bench/bench_table1_bandwidth.cc.o.d"
+  "bench/bench_table1_bandwidth"
+  "bench/bench_table1_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

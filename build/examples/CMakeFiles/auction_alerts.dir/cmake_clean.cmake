@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_alerts.dir/auction_alerts.cpp.o"
+  "CMakeFiles/auction_alerts.dir/auction_alerts.cpp.o.d"
+  "auction_alerts"
+  "auction_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

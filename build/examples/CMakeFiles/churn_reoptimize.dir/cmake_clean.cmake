@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_reoptimize.dir/churn_reoptimize.cpp.o"
+  "CMakeFiles/churn_reoptimize.dir/churn_reoptimize.cpp.o.d"
+  "churn_reoptimize"
+  "churn_reoptimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_reoptimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

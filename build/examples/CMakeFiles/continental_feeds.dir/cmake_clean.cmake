@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continental_feeds.dir/continental_feeds.cpp.o"
+  "CMakeFiles/continental_feeds.dir/continental_feeds.cpp.o.d"
+  "continental_feeds"
+  "continental_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continental_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yardstick_eval.dir/yardstick_eval.cpp.o"
+  "CMakeFiles/yardstick_eval.dir/yardstick_eval.cpp.o.d"
+  "yardstick_eval"
+  "yardstick_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yardstick_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

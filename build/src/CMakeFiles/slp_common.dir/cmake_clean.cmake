@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_common.dir/common/random.cc.o"
+  "CMakeFiles/slp_common.dir/common/random.cc.o.d"
+  "libslp_common.a"
+  "libslp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

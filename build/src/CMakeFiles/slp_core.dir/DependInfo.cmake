@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/CMakeFiles/slp_core.dir/core/assignment.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/assignment.cc.o.d"
+  "/root/repo/src/core/balance.cc" "src/CMakeFiles/slp_core.dir/core/balance.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/balance.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/slp_core.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/closest.cc" "src/CMakeFiles/slp_core.dir/core/closest.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/closest.cc.o.d"
+  "/root/repo/src/core/dynamic.cc" "src/CMakeFiles/slp_core.dir/core/dynamic.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/dynamic.cc.o.d"
+  "/root/repo/src/core/filter_adjust.cc" "src/CMakeFiles/slp_core.dir/core/filter_adjust.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/filter_adjust.cc.o.d"
+  "/root/repo/src/core/filter_assign.cc" "src/CMakeFiles/slp_core.dir/core/filter_assign.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/filter_assign.cc.o.d"
+  "/root/repo/src/core/filter_gen.cc" "src/CMakeFiles/slp_core.dir/core/filter_gen.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/filter_gen.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/CMakeFiles/slp_core.dir/core/greedy.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/greedy.cc.o.d"
+  "/root/repo/src/core/lp_relax.cc" "src/CMakeFiles/slp_core.dir/core/lp_relax.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/lp_relax.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/slp_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/problem.cc" "src/CMakeFiles/slp_core.dir/core/problem.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/problem.cc.o.d"
+  "/root/repo/src/core/slp.cc" "src/CMakeFiles/slp_core.dir/core/slp.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/slp.cc.o.d"
+  "/root/repo/src/core/slp1.cc" "src/CMakeFiles/slp_core.dir/core/slp1.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/slp1.cc.o.d"
+  "/root/repo/src/core/subscription_assign.cc" "src/CMakeFiles/slp_core.dir/core/subscription_assign.cc.o" "gcc" "src/CMakeFiles/slp_core.dir/core/subscription_assign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_core.dir/core/assignment.cc.o"
+  "CMakeFiles/slp_core.dir/core/assignment.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/balance.cc.o"
+  "CMakeFiles/slp_core.dir/core/balance.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/candidates.cc.o"
+  "CMakeFiles/slp_core.dir/core/candidates.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/closest.cc.o"
+  "CMakeFiles/slp_core.dir/core/closest.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/dynamic.cc.o"
+  "CMakeFiles/slp_core.dir/core/dynamic.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/filter_adjust.cc.o"
+  "CMakeFiles/slp_core.dir/core/filter_adjust.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/filter_assign.cc.o"
+  "CMakeFiles/slp_core.dir/core/filter_assign.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/filter_gen.cc.o"
+  "CMakeFiles/slp_core.dir/core/filter_gen.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/greedy.cc.o"
+  "CMakeFiles/slp_core.dir/core/greedy.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/lp_relax.cc.o"
+  "CMakeFiles/slp_core.dir/core/lp_relax.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/metrics.cc.o"
+  "CMakeFiles/slp_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/problem.cc.o"
+  "CMakeFiles/slp_core.dir/core/problem.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/slp.cc.o"
+  "CMakeFiles/slp_core.dir/core/slp.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/slp1.cc.o"
+  "CMakeFiles/slp_core.dir/core/slp1.cc.o.d"
+  "CMakeFiles/slp_core.dir/core/subscription_assign.cc.o"
+  "CMakeFiles/slp_core.dir/core/subscription_assign.cc.o.d"
+  "libslp_core.a"
+  "libslp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_flow.dir/flow/max_flow.cc.o"
+  "CMakeFiles/slp_flow.dir/flow/max_flow.cc.o.d"
+  "libslp_flow.a"
+  "libslp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

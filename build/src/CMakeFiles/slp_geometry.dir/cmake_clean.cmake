@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_geometry.dir/geometry/clustering.cc.o"
+  "CMakeFiles/slp_geometry.dir/geometry/clustering.cc.o.d"
+  "CMakeFiles/slp_geometry.dir/geometry/filter.cc.o"
+  "CMakeFiles/slp_geometry.dir/geometry/filter.cc.o.d"
+  "CMakeFiles/slp_geometry.dir/geometry/rectangle.cc.o"
+  "CMakeFiles/slp_geometry.dir/geometry/rectangle.cc.o.d"
+  "libslp_geometry.a"
+  "libslp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_lp.dir/lp/lp_problem.cc.o"
+  "CMakeFiles/slp_lp.dir/lp/lp_problem.cc.o.d"
+  "CMakeFiles/slp_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/slp_lp.dir/lp/simplex.cc.o.d"
+  "libslp_lp.a"
+  "libslp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/broker_tree.cc" "src/CMakeFiles/slp_network.dir/network/broker_tree.cc.o" "gcc" "src/CMakeFiles/slp_network.dir/network/broker_tree.cc.o.d"
+  "/root/repo/src/network/tree_builder.cc" "src/CMakeFiles/slp_network.dir/network/tree_builder.cc.o" "gcc" "src/CMakeFiles/slp_network.dir/network/tree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_network.dir/network/broker_tree.cc.o"
+  "CMakeFiles/slp_network.dir/network/broker_tree.cc.o.d"
+  "CMakeFiles/slp_network.dir/network/tree_builder.cc.o"
+  "CMakeFiles/slp_network.dir/network/tree_builder.cc.o.d"
+  "libslp_network.a"
+  "libslp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

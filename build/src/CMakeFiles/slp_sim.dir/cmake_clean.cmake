@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_sim.dir/sim/dissemination.cc.o"
+  "CMakeFiles/slp_sim.dir/sim/dissemination.cc.o.d"
+  "libslp_sim.a"
+  "libslp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

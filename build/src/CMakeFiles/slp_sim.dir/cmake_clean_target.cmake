@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslp_sim.a"
+)

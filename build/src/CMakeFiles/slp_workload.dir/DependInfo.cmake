@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/broker_placement.cc" "src/CMakeFiles/slp_workload.dir/workload/broker_placement.cc.o" "gcc" "src/CMakeFiles/slp_workload.dir/workload/broker_placement.cc.o.d"
+  "/root/repo/src/workload/googlegroups.cc" "src/CMakeFiles/slp_workload.dir/workload/googlegroups.cc.o" "gcc" "src/CMakeFiles/slp_workload.dir/workload/googlegroups.cc.o.d"
+  "/root/repo/src/workload/grid.cc" "src/CMakeFiles/slp_workload.dir/workload/grid.cc.o" "gcc" "src/CMakeFiles/slp_workload.dir/workload/grid.cc.o.d"
+  "/root/repo/src/workload/rss.cc" "src/CMakeFiles/slp_workload.dir/workload/rss.cc.o" "gcc" "src/CMakeFiles/slp_workload.dir/workload/rss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slp_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

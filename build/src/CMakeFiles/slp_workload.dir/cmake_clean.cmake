@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_workload.dir/workload/broker_placement.cc.o"
+  "CMakeFiles/slp_workload.dir/workload/broker_placement.cc.o.d"
+  "CMakeFiles/slp_workload.dir/workload/googlegroups.cc.o"
+  "CMakeFiles/slp_workload.dir/workload/googlegroups.cc.o.d"
+  "CMakeFiles/slp_workload.dir/workload/grid.cc.o"
+  "CMakeFiles/slp_workload.dir/workload/grid.cc.o.d"
+  "CMakeFiles/slp_workload.dir/workload/rss.cc.o"
+  "CMakeFiles/slp_workload.dir/workload/rss.cc.o.d"
+  "libslp_workload.a"
+  "libslp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_problem_test.dir/core_problem_test.cc.o"
+  "CMakeFiles/core_problem_test.dir/core_problem_test.cc.o.d"
+  "core_problem_test"
+  "core_problem_test.pdb"
+  "core_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
