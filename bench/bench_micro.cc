@@ -7,9 +7,12 @@
 #include "src/common/random.h"
 #include "src/core/candidates.h"
 #include "src/core/filter_gen.h"
+#include "src/core/slp.h"
 #include "src/flow/max_flow.h"
 #include "src/geometry/clustering.h"
 #include "src/geometry/filter.h"
+#include "src/geometry/union_volume.h"
+#include "src/geometry/volume_memo.h"
 #include "src/lp/simplex.h"
 #include "src/network/tree_builder.h"
 #include "src/workload/googlegroups.h"
@@ -65,20 +68,56 @@ void BM_DinicBipartite(benchmark::State& state) {
 }
 BENCHMARK(BM_DinicBipartite)->Arg(1000)->Arg(10000)->Arg(50000);
 
-void BM_UnionVolume(benchmark::State& state) {
-  const int rects = static_cast<int>(state.range(0));
+std::vector<geo::Rectangle> OverlappingSquares(int n) {
   Rng rng(3);
   std::vector<geo::Rectangle> rs;
-  for (int i = 0; i < rects; ++i) {
+  rs.reserve(n);
+  for (int i = 0; i < n; ++i) {
     double x = rng.Uniform(0, 0.8), y = rng.Uniform(0, 0.8);
     rs.push_back(geo::Rectangle({x, y}, {x + 0.2, y + 0.2}));
   }
-  geo::Filter f(rs);
+  return rs;
+}
+
+// The Q(T) hot path: repeated exact-volume evaluation of an unchanged
+// broker filter, as core::metrics and core::dynamic issue it. After the
+// first iteration this is a content-hash memo hit.
+void BM_UnionVolume(benchmark::State& state) {
+  geo::Filter f(OverlappingSquares(static_cast<int>(state.range(0))));
+  geo::VolumeMemo::Global().Clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::VolumeMemo::Global().UnionVolume(f));
+  }
+}
+BENCHMARK(BM_UnionVolume)->Arg(3)->Arg(6)->Arg(10)->Arg(20);
+
+// Uncached engine dispatch (inclusion-exclusion for n <= 4, sweep above).
+void BM_UnionVolumeExact(benchmark::State& state) {
+  geo::Filter f(OverlappingSquares(static_cast<int>(state.range(0))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.UnionVolume());
   }
 }
-BENCHMARK(BM_UnionVolume)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_UnionVolumeExact)->Arg(3)->Arg(6)->Arg(10)->Arg(20);
+
+// The two exact engines head to head on the same inputs. Inclusion-
+// exclusion is exponential in the worst case, so its arg range stops where
+// the subset blowup starts; the sweep stays polynomial through n = 50.
+void BM_UnionVolumeIE(benchmark::State& state) {
+  auto rs = OverlappingSquares(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::InclusionExclusionUnionVolume(rs));
+  }
+}
+BENCHMARK(BM_UnionVolumeIE)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_UnionVolumeSweep(benchmark::State& state) {
+  auto rs = OverlappingSquares(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::SweepUnionVolume(rs));
+  }
+}
+BENCHMARK(BM_UnionVolumeSweep)->Arg(6)->Arg(10)->Arg(20)->Arg(50);
 
 void BM_FilterGen(benchmark::State& state) {
   const int subs = static_cast<int>(state.range(0));
@@ -110,6 +149,28 @@ void BM_KMeans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeans)->Arg(1000)->Arg(10000);
+
+// Serial vs pool-backed SLP recursion on a multi-level tree. Arg 0 pins
+// the child-subtree fan-out and repair covering to one thread; arg 1 uses
+// the shared pool. Outputs are bit-identical either way (see
+// SlpTest.ParallelMatchesSerialBitIdentical); only wall time may differ.
+void BM_SlpMultiLevel(benchmark::State& state) {
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(
+      wl::Level::kHigh, wl::Level::kLow, 600, 20, 4);
+  Rng tree_rng(7);
+  net::BrokerTree tree = net::BuildMultiLevelTree(
+      w.publisher, w.broker_locations, 5, tree_rng);
+  core::SaProblem p(std::move(tree), std::move(w.subscribers),
+                    core::SaConfig{});
+  core::SlpOptions opts;
+  opts.num_threads = state.range(0) == 0 ? 1 : 0;
+  for (auto _ : state) {
+    Rng rng(11);
+    auto r = core::RunSlp(p, opts, rng);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SlpMultiLevel)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,134 @@
+// A small shared thread-pool with a fork-join ParallelFor.
+//
+// Design constraints, in order:
+//  1. Determinism is the caller's job — the pool only promises that fn(i)
+//     runs exactly once for every i and that ParallelFor returns after all
+//     of them complete. SLP derives a private RNG stream per index before
+//     dispatch, so the same seed gives bit-identical results at any thread
+//     count (see DESIGN.md, "Parallel determinism contract").
+//  2. Nesting must not deadlock. The calling thread always participates in
+//     its own job by claiming indices from the shared atomic counter, so a
+//     ParallelFor issued from inside a worker completes even when every
+//     pool worker is busy; the pool merely adds helpers when it can.
+//  3. No exceptions cross task boundaries (the library reports failures
+//     through Status; tasks must capture theirs into slots owned by the
+//     caller).
+
+#ifndef SLP_COMMON_PARALLEL_H_
+#define SLP_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slp {
+
+class ThreadPool {
+ public:
+  // `num_workers` background threads; the thread calling ParallelFor always
+  // works too, so total parallelism is num_workers + 1.
+  explicit ThreadPool(int num_workers) {
+    workers_.reserve(num_workers > 0 ? num_workers : 0);
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(0) .. fn(n-1), distributing indices over the pool workers and
+  // the calling thread; returns when every index has completed. Safe to
+  // call concurrently and from inside pool tasks.
+  void ParallelFor(int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    if (n == 1 || workers_.empty()) {
+      for (int i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<Job>(n, &fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(job);
+    }
+    cv_.notify_all();
+    RunJob(*job);  // the caller claims indices alongside the workers
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] { return job->completed == job->n; });
+  }
+
+  // The process-wide pool: hardware_concurrency - 1 workers, but at least
+  // one so the parallel paths are exercised (and their determinism is
+  // testable) even on single-core machines.
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool(
+        std::max(2, static_cast<int>(std::thread::hardware_concurrency())) -
+        1);
+    return *pool;
+  }
+
+ private:
+  struct Job {
+    Job(int count, const std::function<void(int)>* f) : n(count), fn(f) {}
+    const int n;
+    const std::function<void(int)>* fn;
+    std::atomic<int> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int completed = 0;
+  };
+
+  static void RunJob(Job& job) {
+    while (true) {
+      const int i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      (*job.fn)(i);
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (++job.completed == job.n) job.done_cv.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+        if (stop_) return;
+        job = jobs_.front();
+        if (job->next.load(std::memory_order_relaxed) >= job->n) {
+          // Every index is claimed; drop the finished job and look again.
+          jobs_.pop_front();
+          continue;
+        }
+      }
+      RunJob(*job);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace slp
+
+#endif  // SLP_COMMON_PARALLEL_H_

@@ -36,6 +36,16 @@ double Rng::Exponential(double lambda) {
 
 Rng Rng::Fork() { return Rng(engine_()); }
 
+Rng Rng::Fork(uint64_t salt) {
+  // SplitMix64 finalizer over a fresh draw xor a salted odd constant, so
+  // equal salts at different fork points (and different salts at the same
+  // point) both give independent streams.
+  uint64_t z = engine_() ^ (salt * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return Rng(z ^ (z >> 31));
+}
+
 ZipfSampler::ZipfSampler(int n, double exponent) {
   SLP_CHECK(n > 0);
   pmf_.resize(n);

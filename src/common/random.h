@@ -37,6 +37,12 @@ class Rng {
   // A fresh generator seeded from this one (for parallel substreams).
   Rng Fork();
 
+  // A fresh generator seeded from this one and a caller-chosen salt
+  // (e.g., a tree-node id). Forking in a fixed order with distinct salts
+  // yields decorrelated substreams that are reproducible regardless of how
+  // the forked streams are later scheduled across threads.
+  Rng Fork(uint64_t salt);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

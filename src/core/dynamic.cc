@@ -6,6 +6,7 @@
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
 #include "src/geometry/filter.h"
+#include "src/geometry/volume_memo.h"
 
 namespace slp::core {
 
@@ -133,9 +134,11 @@ void DynamicAssigner::Remove(int handle) {
 }
 
 double DynamicAssigner::CurrentBandwidth() const {
+  // Churn touches few paths between bandwidth probes; unchanged broker
+  // filters hit the volume memo.
   double total = 0;
   for (int v = 1; v < tree_.num_nodes(); ++v) {
-    total += geo::Filter(filters_[v]).UnionVolume();
+    total += geo::VolumeMemo::Global().UnionVolume(geo::Filter(filters_[v]));
   }
   return total;
 }
@@ -149,7 +152,7 @@ double DynamicAssigner::TightBandwidth(Rng& rng) const {
   BuildInternalFilters(problem, &tight, rng);
   double total = 0;
   for (int v = 1; v < problem.tree().num_nodes(); ++v) {
-    total += tight.filters[v].UnionVolume();
+    total += geo::VolumeMemo::Global().UnionVolume(tight.filters[v]);
   }
   return total;
 }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
 
+#include "src/common/parallel.h"
 #include "src/common/status.h"
 #include "src/core/candidates.h"
 #include "src/core/filter_adjust.h"
@@ -26,9 +30,15 @@ class SlpRunner {
     solution.latency_feasible = true;
     solution.load_feasible = true;
 
+    // Pre-size before the recursion: concurrent child subtrees write
+    // disjoint slots but must never resize the vector.
+    preliminary_leaf_filters_.assign(problem_.tree().num_nodes(),
+                                     geo::Filter());
+
+    Rng root_rng = rng_.Fork(net::BrokerTree::kPublisher);
     const Status st = Recurse(net::BrokerTree::kPublisher,
                               AllSubscribers(problem_), &solution,
-                              /*is_root=*/true);
+                              /*is_root=*/true, root_rng);
     if (!st.ok()) return st;
 
     // Global load repair: the per-level assignments enforce the load caps
@@ -45,6 +55,16 @@ class SlpRunner {
   }
 
  private:
+  // Runs fn(0..n-1); on the shared pool unless the caller pinned the run to
+  // one thread. Tasks must synchronize any shared writes themselves.
+  void RunIndexed(int n, const std::function<void(int)>& fn) {
+    if (options_.num_threads == 1) {
+      for (int i = 0; i < n; ++i) fn(i);
+    } else {
+      ThreadPool::Global().ParallelFor(n, fn);
+    }
+  }
+
   // Leaf-level rebalance across the whole tree (see Run()). Leaf filters
   // for the repair are the recursion's preliminary filters plus an α-MEB
   // cover of each leaf's currently assigned subscriptions, so the current
@@ -52,21 +72,27 @@ class SlpRunner {
   Status GlobalRepair(SaSolution* solution) {
     const auto& tree = problem_.tree();
     const Targets targets = BuildLeafTargets(problem_, AllSubscribers(problem_));
-    preliminary_leaf_filters_.resize(tree.num_nodes());
 
-    std::vector<std::vector<geo::Rectangle>> assigned(tree.num_nodes());
-    for (int j = 0; j < problem_.num_subscribers(); ++j) {
-      assigned[solution->assignment[j]].push_back(
-          problem_.subscriber(j).subscription);
+    Result<std::vector<std::vector<geo::Rectangle>>> assigned =
+        GroupSubscriptionsByLeaf(problem_, solution->assignment);
+    if (!assigned.ok()) return assigned.status();
+
+    // Per-leaf covering is independent; fork one stream per target (salted
+    // by leaf node id) before dispatching so the covering is reproducible
+    // at any thread count.
+    std::vector<Rng> leaf_rngs;
+    leaf_rngs.reserve(targets.count);
+    for (int t = 0; t < targets.count; ++t) {
+      leaf_rngs.push_back(rng_.Fork(problem_.leaf_node(t)));
     }
     std::vector<geo::Filter> filters(targets.count);
-    for (int t = 0; t < targets.count; ++t) {
+    RunIndexed(targets.count, [&](int t) {
       const int leaf = problem_.leaf_node(t);
       filters[t] = preliminary_leaf_filters_[leaf];
-      const geo::Filter current =
-          CoverWithAlphaMebs(assigned[leaf], problem_.config().alpha, rng_);
+      const geo::Filter current = CoverWithAlphaMebs(
+          assigned.value()[leaf], problem_.config().alpha, leaf_rngs[t]);
       for (const auto& rect : current.rects()) filters[t].Add(rect);
-    }
+    });
 
     Result<SubscriptionAssignResult> repaired = AssignByMaxFlow(
         problem_, targets, &filters, rng_, options_.slp1.subscription_assign);
@@ -84,9 +110,10 @@ class SlpRunner {
     return Status::OK();
   }
 
-  // Distributes `subs` (problem subscriber indices) below `node`.
+  // Distributes `subs` (problem subscriber indices) below `node`. `rng` is
+  // this subtree's private stream; concurrent siblings never share one.
   Status Recurse(int node, std::vector<int> subs, SaSolution* solution,
-                 bool is_root) {
+                 bool is_root, Rng& rng) {
     if (subs.empty()) return Status::OK();
     const auto& tree = problem_.tree();
     if (node != net::BrokerTree::kPublisher && tree.is_leaf(node)) {
@@ -96,7 +123,7 @@ class SlpRunner {
     const auto& children = tree.children(node);
     SLP_CHECK(!children.empty());
     if (children.size() == 1) {
-      return Recurse(children[0], std::move(subs), solution, is_root);
+      return Recurse(children[0], std::move(subs), solution, is_root, rng);
     }
 
     const Targets targets = BuildChildTargets(problem_, subs, node);
@@ -105,11 +132,15 @@ class SlpRunner {
       target_of = GreedyPartition(targets);
     } else {
       // One SLP1 stage over the child subtrees.
-      if (stats_ != nullptr) ++stats_->slp1_invocations;
+      if (stats_ != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_->slp1_invocations;
+      }
       Result<FilterAssignResult> fa =
-          FilterAssign(problem_, targets, options_.slp1.filter_assign, rng_);
+          FilterAssign(problem_, targets, options_.slp1.filter_assign, rng);
       if (!fa.ok()) return fa.status();
       if (stats_ != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
         stats_->lp_calls += fa.value().lp_calls;
         stats_->any_budget_exhausted |= fa.value().budget_exhausted;
       }
@@ -118,34 +149,41 @@ class SlpRunner {
       }
       std::vector<geo::Filter> preliminary = fa.value().filters;
       Result<SubscriptionAssignResult> sa = AssignByMaxFlow(
-          problem_, targets, &preliminary, rng_,
+          problem_, targets, &preliminary, rng,
           options_.slp1.subscription_assign);
       if (!sa.ok()) return sa.status();
-      solution->load_feasible &= sa.value().load_feasible;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        solution->load_feasible &= sa.value().load_feasible;
+      }
       target_of = sa.value().target_of;
-      // Remember leaf-level preliminary filters for the adjustment step.
+      // Remember leaf-level preliminary filters for the adjustment step
+      // (pre-sized in Run(); children are disjoint across sibling tasks).
       for (int t = 0; t < targets.count; ++t) {
         const int child = children[t];
         if (tree.is_leaf(child)) {
-          if (preliminary_leaf_filters_.size() <
-              static_cast<size_t>(tree.num_nodes())) {
-            preliminary_leaf_filters_.resize(tree.num_nodes());
-          }
           preliminary_leaf_filters_[child] = preliminary[t];
         }
       }
     }
 
-    // Recurse per child with its share.
+    // Recurse per child with its share. Child subtrees are independent:
+    // fork every child's stream first (deterministic order, salted by the
+    // child's node id), then fan the recursion out over the pool.
     std::vector<std::vector<int>> share(children.size());
     for (size_t r = 0; r < subs.size(); ++r) {
       SLP_CHECK(target_of[r] >= 0);
       share[target_of[r]].push_back(subs[r]);
     }
-    for (size_t c = 0; c < children.size(); ++c) {
-      SLP_RETURN_IF_ERROR(
-          Recurse(children[c], std::move(share[c]), solution, false));
-    }
+    std::vector<Rng> child_rngs;
+    child_rngs.reserve(children.size());
+    for (int child : children) child_rngs.push_back(rng.Fork(child));
+    std::vector<Status> child_status(children.size());
+    RunIndexed(static_cast<int>(children.size()), [&](int c) {
+      child_status[c] = Recurse(children[c], std::move(share[c]), solution,
+                                false, child_rngs[c]);
+    });
+    for (const Status& st : child_status) SLP_RETURN_IF_ERROR(st);
     return Status::OK();
   }
 
@@ -179,9 +217,33 @@ class SlpRunner {
   Rng& rng_;
   SlpStats* stats_;
   std::vector<geo::Filter> preliminary_leaf_filters_;
+  // Guards stats_ and SaSolution flag updates from concurrent subtrees.
+  std::mutex mu_;
 };
 
 }  // namespace
+
+Result<std::vector<std::vector<geo::Rectangle>>> GroupSubscriptionsByLeaf(
+    const SaProblem& problem, const std::vector<int>& assignment) {
+  const auto& tree = problem.tree();
+  if (static_cast<int>(assignment.size()) != problem.num_subscribers()) {
+    return Status::Internal("assignment size " +
+                            std::to_string(assignment.size()) +
+                            " != subscriber count " +
+                            std::to_string(problem.num_subscribers()));
+  }
+  std::vector<std::vector<geo::Rectangle>> grouped(tree.num_nodes());
+  for (int j = 0; j < problem.num_subscribers(); ++j) {
+    const int node = assignment[j];
+    if (node < 0 || node >= tree.num_nodes() || !tree.is_leaf(node)) {
+      return Status::Internal("subscriber " + std::to_string(j) +
+                              " has invalid leaf assignment " +
+                              std::to_string(node));
+    }
+    grouped[node].push_back(problem.subscriber(j).subscription);
+  }
+  return grouped;
+}
 
 Result<SaSolution> RunSlp(const SaProblem& problem, const SlpOptions& options,
                           Rng& rng, SlpStats* stats) {

@@ -25,6 +25,12 @@ struct SlpOptions {
   // LP-bypass threshold: recursion nodes with at most this many subscribers
   // are partitioned greedily.
   int gamma = 64;
+  // 1 runs the child-subtree recursion and the repair covering serially on
+  // the calling thread; any other value uses the shared thread pool
+  // (ThreadPool::Global). Results are bit-identical either way: every
+  // parallel region draws from per-subtree RNG streams forked (salted by
+  // node id) before dispatch, never from a shared generator.
+  int num_threads = 0;
 };
 
 struct SlpStats {
@@ -39,6 +45,13 @@ struct SlpStats {
 // bandwidth lower bound; see DESIGN.md).
 Result<SaSolution> RunSlp(const SaProblem& problem, const SlpOptions& options,
                           Rng& rng, SlpStats* stats = nullptr);
+
+// Groups each subscriber's subscription rectangle under its assigned leaf
+// node (indexed by node id). An assignment entry that is still the -1
+// sentinel, out of range, or not a leaf is an INTERNAL error, not undefined
+// behavior — GlobalRepair relies on this guard before indexing.
+Result<std::vector<std::vector<geo::Rectangle>>> GroupSubscriptionsByLeaf(
+    const SaProblem& problem, const std::vector<int>& assignment);
 
 }  // namespace slp::core
 

@@ -1,23 +1,8 @@
 #include "src/geometry/filter.h"
 
+#include "src/geometry/union_volume.h"
+
 namespace slp::geo {
-
-namespace {
-
-// DFS over subsets of rects[start..] whose running intersection `acc` is
-// non-empty, accumulating the inclusion-exclusion sum. `sign` is +1 for odd
-// subset cardinality, -1 for even.
-void UnionVolumeDfs(const std::vector<Rectangle>& rects, size_t start,
-                    const Rectangle& acc, double sign, double* total) {
-  for (size_t i = start; i < rects.size(); ++i) {
-    std::optional<Rectangle> next = acc.Intersection(rects[i]);
-    if (!next.has_value()) continue;
-    *total += sign * next->Volume();
-    UnionVolumeDfs(rects, i + 1, *next, -sign, total);
-  }
-}
-
-}  // namespace
 
 bool Filter::CoversRect(const Rectangle& r) const {
   for (const Rectangle& f : rects_) {
@@ -48,12 +33,12 @@ double Filter::SumVolume() const {
 
 double Filter::UnionVolume() const {
   if (rects_.empty()) return 0;
-  double total = 0;
-  for (size_t i = 0; i < rects_.size(); ++i) {
-    total += rects_[i].Volume();
-    UnionVolumeDfs(rects_, i + 1, rects_[i], -1.0, &total);
+  // Inclusion-exclusion wins on tiny filters (no compression overhead); the
+  // polynomial sweep wins as soon as subset blowup becomes possible.
+  if (rects_.size() <= kInclusionExclusionMax) {
+    return InclusionExclusionUnionVolume(rects_);
   }
-  return total;
+  return SweepUnionVolume(rects_);
 }
 
 Filter Filter::Expanded(double eps) const {
@@ -63,6 +48,9 @@ Filter Filter::Expanded(double eps) const {
   return Filter(std::move(out));
 }
 
-Rectangle Filter::Meb() const { return Rectangle::Meb(rects_); }
+std::optional<Rectangle> Filter::Meb() const {
+  if (rects_.empty()) return std::nullopt;
+  return Rectangle::Meb(rects_);
+}
 
 }  // namespace slp::geo

@@ -6,6 +6,7 @@
 #ifndef SLP_GEOMETRY_FILTER_H_
 #define SLP_GEOMETRY_FILTER_H_
 
+#include <optional>
 #include <vector>
 
 #include "src/geometry/rectangle.h"
@@ -46,16 +47,22 @@ class Filter {
   // paper, footnote 2).
   double SumVolume() const;
 
-  // Exact volume of the union via inclusion-exclusion with empty-
-  // intersection pruning. Exponential in size() in the worst case; intended
-  // for the small filter complexities (α ≤ ~12) this system uses.
+  // Exact volume of the union. Dispatches on complexity: inclusion-
+  // exclusion for size() <= kInclusionExclusionMax, the polynomial
+  // coordinate-compression sweep above that (src/geometry/union_volume.h),
+  // so arbitrarily large filters stay tractable. Repeated evaluations of
+  // unchanged filters should go through geo::VolumeMemo instead.
   double UnionVolume() const;
 
   // ε-expansion applied to each rectangle (Section IV-A.2).
   Filter Expanded(double eps) const;
 
-  // Minimum enclosing box of all rectangles. CHECK-fails on empty filter.
-  Rectangle Meb() const;
+  // Minimum enclosing box of all rectangles; nullopt for an empty filter.
+  std::optional<Rectangle> Meb() const;
+
+  // Largest filter complexity for which UnionVolume() uses inclusion-
+  // exclusion rather than the sweep.
+  static constexpr int kInclusionExclusionMax = 4;
 
  private:
   std::vector<Rectangle> rects_;

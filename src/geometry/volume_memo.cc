@@ -1,0 +1,84 @@
+#include "src/geometry/volume_memo.h"
+
+#include <cstring>
+
+namespace slp::geo {
+
+namespace {
+
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Two independent 64-bit streams over (dim, rect count, all coordinates).
+// Per-word absorption is a cheap xor/add-multiply (this sits on the Q(T)
+// hot path); Finalize() runs the full avalanche once at the end.
+struct ContentHash {
+  uint64_t primary = 0x9e3779b97f4a7c15ull;
+  uint64_t secondary = 0xc2b2ae3d27d4eb4full;
+
+  void Absorb(uint64_t word) {
+    primary = (primary ^ word) * 0x9ddfea08eb382d69ull;
+    secondary = (secondary + word) * 0xc6a4a7935bd1e995ull;
+  }
+
+  void Finalize() {
+    primary = Mix64(primary);
+    secondary = Mix64(secondary ^ 0xff51afd7ed558ccdull);
+  }
+};
+
+}  // namespace
+
+double VolumeMemo::UnionVolume(const Filter& f) {
+  if (f.empty()) return 0;
+  ContentHash hash;
+  hash.Absorb(static_cast<uint64_t>(f.rect(0).dim()));
+  hash.Absorb(static_cast<uint64_t>(f.size()));
+  for (const Rectangle& r : f.rects()) {
+    for (double c : r.lo()) hash.Absorb(DoubleBits(c));
+    for (double c : r.hi()) hash.Absorb(DoubleBits(c));
+  }
+  hash.Finalize();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(hash.primary);
+    if (it != cache_.end() && it->second.check == hash.secondary) {
+      ++hits_;
+      return it->second.volume;
+    }
+    ++misses_;
+  }
+  const double volume = f.UnionVolume();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.size() >= kMaxEntries) cache_.clear();
+  cache_[hash.primary] = Entry{hash.secondary, volume};
+  return volume;
+}
+
+void VolumeMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t VolumeMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+VolumeMemo& VolumeMemo::Global() {
+  static VolumeMemo* memo = new VolumeMemo();
+  return *memo;
+}
+
+}  // namespace slp::geo

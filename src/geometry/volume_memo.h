@@ -1,0 +1,66 @@
+// Content-hashed memoization of exact union volumes.
+//
+// Q(T) evaluation walks every broker filter and computes its union volume;
+// across repeated metric evaluations (dynamic churn snapshots, the
+// filter-adjust tightening loop, benchmark sweeps) the vast majority of
+// filters are unchanged between calls. VolumeMemo keys the exact volume by
+// a 128-bit content hash of the filter's rectangle coordinates (raw double
+// bit patterns, in rectangle order), so re-evaluating an unchanged filter
+// is a hash lookup instead of a geometric sweep.
+//
+// The two 64-bit halves of the key are independent mixes; a false hit
+// requires both to collide (~2^-128 per pair of distinct filters), far
+// below floating-point noise in any downstream use.
+//
+// Thread-safe: a single mutex guards the table. The volume computation
+// itself runs outside the lock, so concurrent misses on distinct filters
+// do not serialize the geometry work.
+
+#ifndef SLP_GEOMETRY_VOLUME_MEMO_H_
+#define SLP_GEOMETRY_VOLUME_MEMO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/geometry/filter.h"
+
+namespace slp::geo {
+
+class VolumeMemo {
+ public:
+  VolumeMemo() = default;
+  VolumeMemo(const VolumeMemo&) = delete;
+  VolumeMemo& operator=(const VolumeMemo&) = delete;
+
+  // Exact union volume of `f`, served from the table when the identical
+  // rectangle sequence has been seen before.
+  double UnionVolume(const Filter& f);
+
+  void Clear();
+  size_t size() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Process-wide instance used by the metric and dynamic-assignment paths.
+  static VolumeMemo& Global();
+
+ private:
+  struct Entry {
+    uint64_t check;  // secondary hash, verified on lookup
+    double volume;
+  };
+
+  // Entries are evicted wholesale when the table exceeds this bound; the
+  // working set of live broker filters is far smaller.
+  static constexpr size_t kMaxEntries = 1 << 20;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace slp::geo
+
+#endif  // SLP_GEOMETRY_VOLUME_MEMO_H_

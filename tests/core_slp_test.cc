@@ -561,6 +561,65 @@ TEST(SlpTest, GammaBypassSmallNodes) {
   EXPECT_TRUE(ValidateSolution(p, result.value(), vopts).ok());
 }
 
+// The parallel-determinism contract: the pool-backed run must produce a
+// bit-identical SaSolution (assignment and every filter rectangle) to the
+// single-threaded run for the same seed, because all randomness flows
+// through per-subtree streams forked before dispatch.
+TEST(SlpTest, ParallelMatchesSerialBitIdentical) {
+  SaProblem p = test::SmallMultiLevelProblem(700, 25, 5);
+  SlpOptions serial;
+  serial.num_threads = 1;
+  SlpOptions parallel;
+  parallel.num_threads = 0;  // shared pool
+
+  Rng rng_serial(42), rng_parallel(42);
+  auto a = RunSlp(p, serial, rng_serial);
+  auto b = RunSlp(p, parallel, rng_parallel);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+  EXPECT_EQ(a.value().load_feasible, b.value().load_feasible);
+  ASSERT_EQ(a.value().filters.size(), b.value().filters.size());
+  for (size_t v = 0; v < a.value().filters.size(); ++v) {
+    EXPECT_TRUE(a.value().filters[v].rects() == b.value().filters[v].rects())
+        << "filter of node " << v << " differs";
+  }
+  EXPECT_DOUBLE_EQ(a.value().fractional_lower_bound,
+                   b.value().fractional_lower_bound);
+}
+
+// Regression: an assignment still holding the -1 initialization sentinel
+// (an infeasible/unassigned subscriber) must surface as a Status, not as an
+// out-of-bounds index into the per-leaf grouping.
+TEST(GroupSubscriptionsByLeafTest, SentinelAssignmentIsError) {
+  SaProblem p = test::SmallGridProblem(20, 4);
+  std::vector<int> assignment(p.num_subscribers(), p.leaf_node(0));
+  assignment[7] = -1;
+  auto grouped = GroupSubscriptionsByLeaf(p, assignment);
+  ASSERT_FALSE(grouped.ok());
+  EXPECT_EQ(grouped.status().code(), StatusCode::kInternal);
+}
+
+TEST(GroupSubscriptionsByLeafTest, NonLeafAndOutOfRangeAreErrors) {
+  SaProblem p = test::SmallGridProblem(20, 4);
+  std::vector<int> assignment(p.num_subscribers(), p.leaf_node(0));
+  assignment[0] = net::BrokerTree::kPublisher;  // not a leaf
+  EXPECT_FALSE(GroupSubscriptionsByLeaf(p, assignment).ok());
+  assignment[0] = p.tree().num_nodes();  // out of range
+  EXPECT_FALSE(GroupSubscriptionsByLeaf(p, assignment).ok());
+}
+
+TEST(GroupSubscriptionsByLeafTest, GroupsValidAssignment) {
+  SaProblem p = test::SmallGridProblem(20, 4);
+  std::vector<int> assignment(p.num_subscribers(), p.leaf_node(1));
+  auto grouped = GroupSubscriptionsByLeaf(p, assignment);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped.value()[p.leaf_node(1)].size(),
+            static_cast<size_t>(p.num_subscribers()));
+  EXPECT_TRUE(grouped.value()[p.leaf_node(0)].empty());
+}
+
 // The yardstick property on a workload where the LP bound is meaningful:
 // the fractional objective never exceeds the sum-volume bandwidth of the
 // algorithms' leaf filters by more than rounding noise... it is a lower

@@ -10,6 +10,8 @@
 #include "src/geometry/filter.h"
 #include "src/geometry/point.h"
 #include "src/geometry/rectangle.h"
+#include "src/geometry/union_volume.h"
+#include "src/geometry/volume_memo.h"
 
 namespace slp::geo {
 namespace {
@@ -229,9 +231,121 @@ TEST(FilterTest, CoversFilterIsRectanglewise) {
 
 TEST(FilterTest, MebEnclosesAllRects) {
   Filter f({Box2(0, 1, 5, 6), Box2(3, 4, 0, 1)});
-  Rectangle meb = f.Meb();
-  for (const auto& r : f.rects()) EXPECT_TRUE(meb.Contains(r));
-  EXPECT_DOUBLE_EQ(meb.Volume(), 4 * 6);
+  std::optional<Rectangle> meb = f.Meb();
+  ASSERT_TRUE(meb.has_value());
+  for (const auto& r : f.rects()) EXPECT_TRUE(meb->Contains(r));
+  EXPECT_DOUBLE_EQ(meb->Volume(), 4 * 6);
+}
+
+TEST(FilterTest, MebOfEmptyFilterIsNullopt) {
+  Filter f;
+  EXPECT_FALSE(f.Meb().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Union-volume engines: sweep vs inclusion-exclusion
+// ---------------------------------------------------------------------------
+
+// A box whose coordinates are multiples of 1/4 in [0, 2]: abutting faces
+// and exact duplicates are common, which is the degenerate-intersection
+// regime grid workloads produce.
+Rectangle GridAlignedBox(int d, Rng& rng) {
+  std::vector<double> lo(d), hi(d);
+  for (int i = 0; i < d; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(0, 7));
+    const int len = static_cast<int>(rng.UniformInt(0, 3));
+    lo[i] = a / 4.0;
+    hi[i] = (a + len) / 4.0;  // len 0: degenerate (zero-volume) side
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+// Randomized agreement property over d in {1,2,3}, n <= 12, mixing random,
+// grid-aligned (abutting/degenerate), and duplicated rectangles. Both
+// engines are exact, so they must agree to floating-point noise.
+TEST(UnionVolumeEngineTest, SweepMatchesInclusionExclusion) {
+  Rng rng(20260805);
+  for (int t = 0; t < 1200; ++t) {
+    const int d = 1 + t % 3;
+    const int n = 1 + static_cast<int>(rng.UniformInt(0, 11));
+    const int mode = t % 4;  // 0,1: random; 2: grid; 3: grid + duplicates
+    std::vector<Rectangle> rects;
+    rects.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      rects.push_back(mode >= 2 ? GridAlignedBox(d, rng) : RandomBox(d, rng));
+    }
+    if (mode == 3) {
+      const int extra = static_cast<int>(rng.UniformInt(1, 3));
+      for (int e = 0; e < extra && static_cast<int>(rects.size()) < 12; ++e) {
+        rects.push_back(rects[rng.UniformInt(0, rects.size() - 1)]);
+      }
+    }
+    const double ie = InclusionExclusionUnionVolume(rects);
+    const double sweep = SweepUnionVolume(rects);
+    const double scale = std::max({1.0, std::abs(ie), std::abs(sweep)});
+    EXPECT_NEAR(ie, sweep, 1e-9 * scale)
+        << "case " << t << " d=" << d << " n=" << rects.size()
+        << " mode=" << mode;
+  }
+}
+
+TEST(UnionVolumeEngineTest, AbuttingRectanglesExact) {
+  // A 4x4 grid of unit squares sharing faces: union is exactly 16, and the
+  // zero-volume intersection pruning must keep inclusion-exclusion cheap.
+  std::vector<Rectangle> rects;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      rects.push_back(Box2(x, x + 1, y, y + 1));
+    }
+  }
+  EXPECT_DOUBLE_EQ(InclusionExclusionUnionVolume(rects), 16.0);
+  EXPECT_DOUBLE_EQ(SweepUnionVolume(rects), 16.0);
+  EXPECT_DOUBLE_EQ(Filter(rects).UnionVolume(), 16.0);
+}
+
+TEST(UnionVolumeEngineTest, ZeroVolumeRectanglesIgnored) {
+  std::vector<Rectangle> rects = {Box2(0, 1, 0, 1), Box2(2, 2, 0, 5),
+                                  Rectangle::FromPoint({9, 9})};
+  EXPECT_DOUBLE_EQ(InclusionExclusionUnionVolume(rects), 1.0);
+  EXPECT_DOUBLE_EQ(SweepUnionVolume(rects), 1.0);
+}
+
+TEST(UnionVolumeEngineTest, LargeFilterUsesTractableSweep) {
+  // n = 24 heavily overlapping squares: intractable subset counts under
+  // unpruned inclusion-exclusion, instant under the sweep dispatch.
+  Rng rng(7);
+  std::vector<Rectangle> rects;
+  for (int i = 0; i < 24; ++i) {
+    const double x = rng.Uniform(0, 0.5), y = rng.Uniform(0, 0.5);
+    rects.push_back(Box2(x, x + 0.5, y, y + 0.5));
+  }
+  Filter f(rects);
+  const double v = f.UnionVolume();
+  EXPECT_GT(v, 0.25);  // at least one 0.5x0.5 square
+  EXPECT_LE(v, 1.0);   // all inside [0, 1]^2
+  EXPECT_DOUBLE_EQ(v, SweepUnionVolume(rects));
+}
+
+TEST(VolumeMemoTest, HitsAfterFirstEvaluation) {
+  VolumeMemo memo;
+  Filter f({Box2(0, 2, 0, 2), Box2(1, 3, 0, 2)});
+  EXPECT_DOUBLE_EQ(memo.UnionVolume(f), 6.0);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_DOUBLE_EQ(memo.UnionVolume(f), 6.0);
+  EXPECT_EQ(memo.hits(), 1u);
+  // Different content is a distinct entry, not a stale hit.
+  Filter g({Box2(0, 2, 0, 2), Box2(1, 3, 0, 3)});
+  EXPECT_DOUBLE_EQ(memo.UnionVolume(g), g.UnionVolume());
+  EXPECT_EQ(memo.misses(), 2u);
+  memo.Clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(VolumeMemoTest, EmptyFilterIsZeroWithoutCaching) {
+  VolumeMemo memo;
+  EXPECT_DOUBLE_EQ(memo.UnionVolume(Filter()), 0.0);
+  EXPECT_EQ(memo.size(), 0u);
 }
 
 TEST(KMeansTest, SeparatedClustersRecovered) {
