@@ -10,22 +10,24 @@ namespace slp::core {
 
 namespace {
 
-// Sorts each row's candidates by latency ascending.
+// Sorts each row's candidates by latency ascending (ties broken by target
+// id, so the order is fully deterministic).
+//
+// This is deliberately a full sort, not a partial_sort to some prefix: the
+// sorted row is a load-bearing contract of Targets::candidates. Consumers
+// walk rows nearest-first to *unbounded* depth — GreedyPartition (slp.cc)
+// scans until capacity admits the subscriber, and the enrichment pass in
+// subscription_assign.cc scans until it finds an assigned broker — so no
+// top-k prefix short of the whole row is safe to cap at.
 void SortRow(std::vector<int>* cand, std::vector<double>* lat) {
   const size_t n = cand->size();
-  std::vector<int> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return (*lat)[a] < (*lat)[b];
-  });
-  std::vector<int> c2(n);
-  std::vector<double> l2(n);
+  std::vector<std::pair<double, int>> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = {(*lat)[i], (*cand)[i]};
+  std::sort(order.begin(), order.end());
   for (size_t i = 0; i < n; ++i) {
-    c2[i] = (*cand)[order[i]];
-    l2[i] = (*lat)[order[i]];
+    (*lat)[i] = order[i].first;
+    (*cand)[i] = order[i].second;
   }
-  *cand = std::move(c2);
-  *lat = std::move(l2);
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
+#include <optional>
 
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
@@ -115,37 +115,77 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
         const std::vector<int> q_rows =
             WeightedSampleWithoutReplacement(weights, q, rng);
 
-        // Helper: Sb sample + FilterGen + LPRelax, retrying Sb on
-        // LP infeasibility.
+        // Helper: Sb sample + FilterGen + LPRelax, retrying on LP
+        // infeasibility. The infeasibility ladder escalates the load rung
+        // (the desired β first, then β_max, and as a last resort without
+        // (C3) — load balance is then left to the max-flow assignment
+        // step). When only the rung changed between attempts, the sample,
+        // the FilterGen candidates, and the built LP are all still valid:
+        // the retained model just retunes its (C3) rows and re-solves
+        // warm-started from the previous optimal basis. Same-rung retries
+        // resample Sb fresh, as before.
         Result<LpRelaxResult> lp_result =
             Status::Internal("no LPRelax attempt made");
         std::vector<int> sa_rows;
+        std::optional<LpRelaxModel> model;
+        const double desired_beta = options.lp.beta > 0
+                                        ? options.lp.beta
+                                        : problem.config().beta;
+        double prev_beta = 0;
+        bool prev_enforce = false;
         for (int attempt = 0; attempt <= options.sb_retries; ++attempt) {
           if (!budget_left()) break;
-          // Infeasibility ladder: the desired β first, then β_max, and as a
-          // last resort without (C3) — load balance is then left to the
-          // max-flow assignment step.
-          LpRelaxOptions lp_opts = options.lp;
+          double beta = desired_beta;
+          bool enforce_load = options.lp.enforce_load;
           if (attempt == options.sb_retries) {
-            lp_opts.enforce_load = false;
+            enforce_load = false;
           } else if (2 * attempt >= options.sb_retries) {
-            lp_opts.beta = problem.config().beta_max;
+            beta = problem.config().beta_max;
           }
-          const std::vector<int> sb_rows =
-              UniformSampleWithoutReplacement(rows, sb_size, rng);
-          std::set<int> sa_set(q_rows.begin(), q_rows.end());
-          sa_set.insert(sb_rows.begin(), sb_rows.end());
-          sa_rows.assign(sa_set.begin(), sa_set.end());
+          const bool rung_changed =
+              attempt > 0 && (beta != prev_beta || enforce_load != prev_enforce);
+          prev_beta = beta;
+          prev_enforce = enforce_load;
 
-          std::vector<int> sa_subs;
-          sa_subs.reserve(sa_rows.size());
-          for (int r : sa_rows) sa_subs.push_back(targets.subscribers[r]);
-          const std::vector<geo::Rectangle> rects = FilterGen(
-              problem, sa_subs, targets.count, options.filter_gen, rng);
+          if (!model || !rung_changed) {
+            // Fresh sample (first attempt, or a same-rung retry): Sb, the
+            // merged Sa = Q ∪ Sb, the rectangle candidates, and the LP are
+            // all rebuilt. Both samples come back sorted, so the union is
+            // a linear merge.
+            const std::vector<int> sb_rows =
+                UniformSampleWithoutReplacement(rows, sb_size, rng);
+            sa_rows.clear();
+            std::set_union(q_rows.begin(), q_rows.end(), sb_rows.begin(),
+                           sb_rows.end(), std::back_inserter(sa_rows));
+
+            std::vector<int> sa_subs;
+            sa_subs.reserve(sa_rows.size());
+            for (int r : sa_rows) sa_subs.push_back(targets.subscribers[r]);
+            const std::vector<geo::Rectangle> rects = FilterGen(
+                problem, sa_subs, targets.count, options.filter_gen, rng);
+
+            LpRelaxOptions build_opts = options.lp;
+            build_opts.beta = beta;
+            build_opts.enforce_load = enforce_load;
+            Result<LpRelaxModel> built = LpRelaxModel::Build(
+                problem, targets, sa_rows, sb_rows, rects, build_opts, rng);
+            if (!built.ok()) {
+              lp_result = built.status();
+              if (built.status().code() != StatusCode::kInfeasible) {
+                return built.status();
+              }
+              model.reset();
+              continue;
+            }
+            model.emplace(std::move(built.value()));
+          } else {
+            // β-escalation on the same sample: mutate (C3) in place and
+            // warm-start from the basis the failed solve left behind.
+            model->SetLoadRung(beta, enforce_load);
+          }
 
           ++result.lp_calls;
-          lp_result = LpRelax(problem, targets, sa_rows, sb_rows, rects,
-                              lp_opts, rng);
+          lp_result = model->Solve(options.lp, rng);
           if (lp_result.ok()) break;
           if (lp_result.status().code() != StatusCode::kInfeasible) {
             return lp_result.status();

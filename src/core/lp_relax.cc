@@ -3,39 +3,33 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <set>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/lp/lp_problem.h"
 
 namespace slp::core {
 
-namespace {
-
-// A group of subscribers sharing candidate targets and rectangles (merged
-// for LP size; exact by symmetry).
-struct Group {
-  std::vector<int> targets;  // candidate target ids (capped, sorted)
-  std::vector<int> rects;    // candidate rectangle ids (capped, sorted)
-  double weight_sb = 0;      // members inside Sb (load-balance weight)
-  std::vector<int> rows;     // member local rows (for coverage checks)
-};
-
-}  // namespace
-
-Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
-                              const std::vector<int>& sa_rows,
-                              const std::vector<int>& sb_rows,
-                              const std::vector<geo::Rectangle>& rects,
-                              const LpRelaxOptions& options, Rng& rng) {
+Result<LpRelaxModel> LpRelaxModel::Build(
+    const SaProblem& problem, const Targets& targets,
+    const std::vector<int>& sa_rows, const std::vector<int>& sb_rows,
+    const std::vector<geo::Rectangle>& rects, const LpRelaxOptions& options,
+    Rng& rng) {
   SLP_CHECK(!sa_rows.empty());
   SLP_CHECK(!rects.empty());
 
-  const std::set<int> sb_set(sb_rows.begin(), sb_rows.end());
+  LpRelaxModel model;
+  model.targets_ = &targets;
+  model.rects_ = rects;
+  model.sb_size_ = static_cast<double>(sb_rows.size());
+  model.sa_size_ = static_cast<double>(sa_rows.size());
+
+  std::vector<int> sb_sorted = sb_rows;
+  std::sort(sb_sorted.begin(), sb_sorted.end());
 
   // ---- Per-subscriber candidates, then grouping ----
   std::map<std::pair<std::vector<int>, std::vector<int>>, int> group_of;
-  std::vector<Group> groups;
+  std::vector<Group>& groups = model.groups_;
   for (int row : sa_rows) {
     const int j = targets.subscribers[row];
     // Targets: nearest half by latency plus a random spread of the rest —
@@ -57,6 +51,8 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
         tcap.push_back(cand[near + pick]);
       }
     }
+    // Canonical-key sort (by id) for the grouping map — every element is
+    // consumed as part of the key, so there is no top-k prefix to cap at.
     std::sort(tcap.begin(), tcap.end());
     // Rectangles: multi-scale selection from the containing candidates
     // (sorted by volume): the smallest few, then log-spaced larger ones up
@@ -90,11 +86,13 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
     }
     Group& g = groups[it->second];
     g.rows.push_back(row);
-    if (sb_set.count(row)) g.weight_sb += 1;
+    if (std::binary_search(sb_sorted.begin(), sb_sorted.end(), row)) {
+      g.weight_sb += 1;
+    }
   }
 
   // ---- LP construction ----
-  lp::LpProblem lp;
+  lp::LpProblem& lp = model.lp_;
   // y variables: only (target, rect) pairs that some group can use.
   std::map<std::pair<int, int>, int> yvar;
   for (const Group& g : groups) {
@@ -106,6 +104,9 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
         }
       }
     }
+  }
+  for (const auto& [key, var] : yvar) {
+    model.yvars_.push_back({key.first, key.second, var});
   }
   // x variables per (group, target).
   std::vector<std::vector<int>> xvar(groups.size());
@@ -138,15 +139,17 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
   // (C3) per target: Σ_groups weight_sb · x ≤ β κ_t |Sb| + slack, with the
   // slack penalized heavily in the objective. The soft form avoids burning
   // full phase-1 infeasibility proofs on over-tight samples; positive slack
-  // at the optimum is reported as infeasibility below.
-  const double beta =
-      options.beta > 0 ? options.beta : problem.config().beta;
-  std::vector<int> slack_vars;
-  if (options.enforce_load && !sb_rows.empty()) {
+  // at the optimum is reported as infeasibility below. The rows are built
+  // unconditionally (for non-empty Sb) with caps at the problem's β;
+  // SetLoadRung retunes or neutralizes them in place so the LP's shape —
+  // and with it any retained warm-start basis — survives rung changes.
+  if (!sb_rows.empty()) {
     double max_vol = 0;
     for (const auto& r : rects) max_vol = std::max(max_vol, r.Volume());
-    const double penalty =
+    model.penalty_ =
         2.0 * problem.config().alpha * targets.count * std::max(max_vol, 1e-6);
+    const double beta =
+        options.beta > 0 ? options.beta : problem.config().beta;
     std::map<int, int> c3_row;
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       if (groups[gi].weight_sb <= 0) continue;
@@ -154,12 +157,11 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
         const int target = groups[gi].targets[t];
         auto it = c3_row.find(target);
         if (it == c3_row.end()) {
-          const double cap = beta * targets.kappa[target] *
-                             static_cast<double>(sb_rows.size());
+          const double cap = beta * targets.kappa[target] * model.sb_size_;
           const int row = lp.AddConstraint(lp::Sense::kLessEqual, cap);
-          const int slack = lp.AddVariable(penalty, 0, lp::kInfinity);
+          const int slack = lp.AddVariable(model.penalty_, 0, lp::kInfinity);
           lp.AddEntry(row, slack, -1);
-          slack_vars.push_back(slack);
+          model.c3_rows_.push_back({target, row, slack});
           it = c3_row.emplace(target, row).first;
         }
         lp.AddEntry(it->second, xvar[gi][t], groups[gi].weight_sb);
@@ -177,9 +179,26 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
       }
     }
   }
+  model.SetLoadRung(options.beta > 0 ? options.beta : problem.config().beta,
+                    options.enforce_load);
+  return model;
+}
 
-  // ---- Solve ----
-  const lp::LpSolution sol = lp::SimplexSolver(options.simplex).Solve(lp);
+void LpRelaxModel::SetLoadRung(double beta, bool enforce_load) {
+  SLP_CHECK(beta > 0);
+  enforce_load_ = enforce_load;
+  for (const C3Row& c3 : c3_rows_) {
+    lp_.SetRhs(c3.row, beta * targets_->kappa[c3.target] * sb_size_);
+    // Dropping (C3) keeps the rows but makes their slacks free: the
+    // constraints go inert without changing the LP's shape.
+    lp_.SetObj(c3.slack_var, enforce_load ? penalty_ : 0.0);
+  }
+}
+
+Result<LpRelaxResult> LpRelaxModel::Solve(const LpRelaxOptions& options,
+                                          Rng& rng) {
+  const lp::LpSolution sol = lp::SimplexSolver(options.simplex)
+                                 .Solve(lp_, basis_.empty() ? nullptr : &basis_);
   if (sol.status == lp::SolveStatus::kInfeasible) {
     return Status::Infeasible("filter-assignment LP infeasible");
   }
@@ -187,35 +206,45 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
     return Status::ResourceExhausted(std::string("LP solver: ") +
                                      lp::ToString(sol.status));
   }
+  // Retain the basis before any infeasibility verdict: an escalation
+  // re-solve after "can't balance at β" is exactly the warm-start customer.
+  basis_ = sol.basis;
 
   LpRelaxResult result;
   // Report only the filter-volume part of the objective; surface any (C3)
-  // slack as infeasibility at this β.
-  double slack_total = 0;
-  for (int v : slack_vars) slack_total += sol.x[v];
-  result.load_slack_used = slack_total;
-  if (slack_total > 0.5) {
-    return Status::Infeasible(
-        "load-balance sample cannot be balanced at the requested beta");
+  // slack as infeasibility at this β. With load enforcement off the slacks
+  // are free variables, so their values are meaningless — report 0.
+  if (enforce_load_) {
+    double slack_total = 0;
+    for (const C3Row& c3 : c3_rows_) slack_total += sol.x[c3.slack_var];
+    result.load_slack_used = slack_total;
+    if (slack_total > 0.5) {
+      return Status::Infeasible(
+          "load-balance sample cannot be balanced at the requested beta");
+    }
   }
   double y_objective = 0;
-  for (const auto& [key, var] : yvar) {
-    y_objective += rects[key.second].Volume() * sol.x[var];
+  for (const YVar& y : yvars_) {
+    y_objective += rects_[y.rect].Volume() * sol.x[y.var];
   }
   result.fractional_objective = y_objective;
 
   // ---- Randomized rounding ----
-  const double boost = 2.0 * std::log(std::max<double>(sa_rows.size(), 2.0));
-  std::vector<std::vector<int>> chosen(targets.count);  // rect ids per target
+  const double boost = 2.0 * std::log(std::max(sa_size_, 2.0));
+  const int count = targets_->count;
+  std::vector<std::vector<int>> chosen(count);  // rect ids per target
   auto round_once = [&]() {
     for (auto& c : chosen) c.clear();
-    for (const auto& [key, var] : yvar) {
-      const double yhat = std::clamp(sol.x[var], 0.0, 1.0);
+    for (const YVar& y : yvars_) {
+      const double yhat = std::clamp(sol.x[y.var], 0.0, 1.0);
       if (yhat <= 1e-12) continue;
       const double p = 1.0 - std::pow(1.0 - yhat, boost);
-      if (rng.Bernoulli(p)) chosen[key.first].push_back(key.second);
+      if (rng.Bernoulli(p)) chosen[y.target].push_back(y.rect);
     }
   };
+  // y variable lookup for coverage checks / completion.
+  std::map<std::pair<int, int>, int> yvar;
+  for (const YVar& y : yvars_) yvar[{y.target, y.rect}] = y.var;
   auto group_covered = [&](const Group& g) {
     for (size_t t = 0; t < g.targets.size(); ++t) {
       const int target = g.targets[t];
@@ -234,7 +263,7 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
     ++result.rounding_attempts;
     round_once();
     covered = true;
-    for (const Group& g : groups) {
+    for (const Group& g : groups_) {
       if (!group_covered(g)) {
         covered = false;
         break;
@@ -246,7 +275,7 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
     // Deterministic completion: give each uncovered group its
     // highest-fractional-mass (target, rect) pair.
     result.used_completion = true;
-    for (const Group& g : groups) {
+    for (const Group& g : groups_) {
       if (group_covered(g)) continue;
       double best = -1;
       std::pair<int, int> pick{g.targets[0], g.rects[0]};
@@ -263,17 +292,29 @@ Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
     }
   }
 
-  result.filters.resize(targets.count);
-  for (int t = 0; t < targets.count; ++t) {
+  result.filters.resize(count);
+  for (int t = 0; t < count; ++t) {
     std::sort(chosen[t].begin(), chosen[t].end());
     chosen[t].erase(std::unique(chosen[t].begin(), chosen[t].end()),
                     chosen[t].end());
     std::vector<geo::Rectangle> rs;
     rs.reserve(chosen[t].size());
-    for (int k : chosen[t]) rs.push_back(rects[k]);
+    for (int k : chosen[t]) rs.push_back(rects_[k]);
     result.filters[t] = geo::Filter(std::move(rs));
   }
   return result;
+}
+
+Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
+                              const std::vector<int>& sa_rows,
+                              const std::vector<int>& sb_rows,
+                              const std::vector<geo::Rectangle>& rects,
+                              const LpRelaxOptions& options, Rng& rng) {
+  Result<LpRelaxModel> model =
+      LpRelaxModel::Build(problem, targets, sa_rows, sb_rows, rects, options,
+                          rng);
+  if (!model.ok()) return model.status();
+  return model.value().Solve(options, rng);
 }
 
 }  // namespace slp::core

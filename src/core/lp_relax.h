@@ -17,6 +17,12 @@
 //  * per-subscriber candidate rectangles capped to the smallest few;
 //  * subscribers with identical (targets, rectangles) signatures merged
 //    into one weighted group — exact by symmetry of the LP.
+//
+// LpRelaxModel is the retained form: FilterAssign's infeasibility ladder
+// (β → β_max → drop (C3)) builds the model once per sample, then mutates
+// only the (C3) caps/penalties between rungs and re-solves warm-started
+// from the previous optimal basis, instead of rebuilding and cold-solving
+// near-identical LPs.
 
 #ifndef SLP_CORE_LP_RELAX_H_
 #define SLP_CORE_LP_RELAX_H_
@@ -28,6 +34,7 @@
 #include "src/core/candidates.h"
 #include "src/core/problem.h"
 #include "src/geometry/filter.h"
+#include "src/lp/lp_problem.h"
 #include "src/lp/simplex.h"
 
 namespace slp::core {
@@ -70,10 +77,79 @@ struct LpRelaxResult {
   bool used_completion = false;
 };
 
+// One built relaxation, retained across load-rung changes. The (C3) rows
+// and their penalty slacks are always present (when Sb is non-empty), so
+// SetLoadRung can retune or neutralize them in place without changing the
+// LP's shape — which keeps the previous solve's basis valid as a warm-start
+// hint for the next one. Holds pointers to the problem/targets it was built
+// from; they must outlive the model.
+class LpRelaxModel {
+ public:
+  // Groups subscribers, caps candidates (consuming rng for the target
+  // spread), and builds the LP. sa_rows / sb_rows index into
+  // targets.subscribers; sb_rows must be a subset of sa_rows (any order).
+  // `rects` is the candidate set from FilterGen, sorted by
+  // volume ascending (copied into the model). Fails kInfeasible when some
+  // subscriber has no feasible target or no containing rectangle.
+  static Result<LpRelaxModel> Build(const SaProblem& problem,
+                                    const Targets& targets,
+                                    const std::vector<int>& sa_rows,
+                                    const std::vector<int>& sb_rows,
+                                    const std::vector<geo::Rectangle>& rects,
+                                    const LpRelaxOptions& options, Rng& rng);
+
+  // Reconfigures the (C3) load rung in place: caps at `beta` (must be > 0)
+  // and, when enforce_load is false, zeroes the slack penalties so the rows
+  // go inert. No-op when the model has no (C3) rows (empty Sb).
+  void SetLoadRung(double beta, bool enforce_load);
+
+  // Solves the LP (warm-starting from the previous Solve's basis when one
+  // is retained) and rounds the fractional optimum to filters. Returns
+  // kInfeasible when the load sample cannot be balanced at the current β.
+  // The basis is retained even on that path, so the caller's escalation
+  // re-solve starts from this optimum.
+  Result<LpRelaxResult> Solve(const LpRelaxOptions& options, Rng& rng);
+
+ private:
+  LpRelaxModel() = default;
+
+  // A group of subscribers sharing candidate targets and rectangles (merged
+  // for LP size; exact by symmetry).
+  struct Group {
+    std::vector<int> targets;  // candidate target ids (capped, sorted)
+    std::vector<int> rects;    // candidate rectangle ids (capped, sorted)
+    double weight_sb = 0;      // members inside Sb (load-balance weight)
+    std::vector<int> rows;     // member local rows (for coverage checks)
+  };
+  struct YVar {
+    int target;
+    int rect;
+    int var;
+  };
+  struct C3Row {
+    int target;
+    int row;
+    int slack_var;
+  };
+
+  const Targets* targets_ = nullptr;  // not owned
+  std::vector<geo::Rectangle> rects_;
+  std::vector<Group> groups_;
+  std::vector<YVar> yvars_;
+  std::vector<C3Row> c3_rows_;
+  lp::LpProblem lp_;
+  double penalty_ = 0;      // (C3) slack objective coefficient when enforced
+  double sb_size_ = 0;      // |Sb| at build time
+  double sa_size_ = 0;      // |Sa| at build time (rounding boost)
+  bool enforce_load_ = true;
+  lp::Basis basis_;         // previous optimum, warm-start hint
+};
+
 // sa_rows / sb_rows index into targets.subscribers (local rows). sb_rows
 // must be a subset of sa_rows. `rects` is the candidate set from FilterGen,
-// sorted by volume ascending. Returns kInfeasible if the LP has no
-// fractional solution (e.g., the Sb sample makes load balance impossible).
+// sorted by volume ascending. Returns kInfeasible if
+// the LP has no fractional solution (e.g., the Sb sample makes load balance
+// impossible). One-shot convenience wrapper over LpRelaxModel.
 Result<LpRelaxResult> LpRelax(const SaProblem& problem, const Targets& targets,
                               const std::vector<int>& sa_rows,
                               const std::vector<int>& sb_rows,

@@ -48,17 +48,26 @@ SolutionMetrics ComputeMetrics(const SaProblem& problem,
 LoadSummary SummarizeLoads(const std::vector<int>& loads) {
   SLP_CHECK(!loads.empty());
   std::vector<int> s = loads;
-  std::sort(s.begin(), s.end());
-  const auto at = [&](double q) {
+  // Only five order statistics are consumed, so place them with successive
+  // nth_element passes (O(n) total) instead of fully sorting. Each pass
+  // works on the tail [prev, end): the previous partition already pushed
+  // everything smaller in front of `prev`.
+  const auto qidx = [&](double q) {
     const size_t idx = static_cast<size_t>(q * (s.size() - 1) + 0.5);
-    return s[std::min(idx, s.size() - 1)];
+    return std::min(idx, s.size() - 1);
+  };
+  size_t prev = 0;
+  const auto pick = [&](size_t idx) {
+    std::nth_element(s.begin() + prev, s.begin() + idx, s.end());
+    prev = idx;
+    return s[idx];
   };
   LoadSummary out;
-  out.min = s.front();
-  out.q1 = at(0.25);
-  out.median = at(0.5);
-  out.q3 = at(0.75);
-  out.max = s.back();
+  out.min = pick(0);
+  out.q1 = pick(qidx(0.25));
+  out.median = pick(qidx(0.5));
+  out.q3 = pick(qidx(0.75));
+  out.max = pick(s.size() - 1);
   return out;
 }
 

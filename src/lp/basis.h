@@ -1,0 +1,54 @@
+// Basis snapshot and solver statistics shared by the simplex engines.
+//
+// A Basis records, for one solved LpProblem, where every structural variable
+// and every row's logical variable (slack for <= / >= rows, artificial for =
+// rows) sits at the optimum: basic, at its lower bound, or at its upper
+// bound. SimplexSolver::Solve accepts a Basis from a previous solve of a
+// structurally identical problem and crashes its starting basis from it, so
+// re-solves after small rhs/objective edits (the FilterAssign β-escalation
+// ladder) cost a handful of pivots instead of a full two-phase cold start.
+
+#ifndef SLP_LP_BASIS_H_
+#define SLP_LP_BASIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slp::lp {
+
+enum class VarStatus : uint8_t {
+  kAtLower = 0,
+  kAtUpper = 1,
+  kBasic = 2,
+};
+
+// Snapshot of the final simplex basis. Empty vectors mean "no basis
+// available" (iteration limit, or the legacy dense engine).
+struct Basis {
+  std::vector<VarStatus> structural;  // one per problem variable
+  std::vector<VarStatus> logical;     // one per constraint row
+  bool empty() const { return structural.empty() && logical.empty(); }
+  // Compatible = usable as a warm-start hint for `problem`-shaped LPs.
+  bool CompatibleWith(int num_vars, int num_constraints) const {
+    return static_cast<int>(structural.size()) == num_vars &&
+           static_cast<int>(logical.size()) == num_constraints;
+  }
+};
+
+// Per-solve counters exposed on LpSolution. All engines fill pivots /
+// phase1_pivots / solve_seconds; the LU-based sparse engine also reports
+// factorization and FTRAN-sparsity behavior.
+struct SolverStats {
+  int pivots = 0;             // total pivots, both phases
+  int phase1_pivots = 0;      // pivots spent reaching feasibility
+  int refactorizations = 0;   // basis refactorizations (sparse engine)
+  int max_eta_length = 0;     // longest eta file between refactorizations
+  double avg_ftran_density = 0;  // mean nnz(B^-1 a_q)/m over all FTRANs
+  double solve_seconds = 0;   // wall time inside Solve()
+  bool warm_started = false;  // a basis hint was accepted and used
+  bool warm_feasible = false; // crashed basis was primal feasible as-is
+};
+
+}  // namespace slp::lp
+
+#endif  // SLP_LP_BASIS_H_

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/common/timer.h"
+#include "src/lp/lu_factor.h"
 
 namespace slp::lp {
 
@@ -20,11 +24,21 @@ const char* ToString(SolveStatus status) {
 
 namespace {
 
-// Internal working state for one Solve() call. Columns are laid out as
-// [structural | slack | artificial]; every column is stored sparsely.
-class Tableau {
+constexpr double kInf = kInfinity;
+// Absolute floor for acceptable pivots inside the LU factorization.
+constexpr double kFactorPivotEps = 1e-12;
+
+// ---------------------------------------------------------------------------
+// Legacy dense engine.
+//
+// Keeps an explicit dense basis inverse (O(m^2) memory, O(m^2) work per
+// pivot). Retained as the reference implementation: the stress tests
+// cross-check the sparse engine against it, and bench_lp measures speedups
+// relative to it. Columns are laid out as [structural | slack | artificial];
+// every column is stored sparsely.
+class DenseTableau {
  public:
-  Tableau(const LpProblem& problem, const SimplexOptions& options)
+  DenseTableau(const LpProblem& problem, const SimplexOptions& options)
       : options_(options), m_(problem.num_constraints()) {
     BuildColumns(problem);
     InitBasis(problem);
@@ -48,6 +62,7 @@ class Tableau {
       SLP_CHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
       if (CurrentObjective() > options_.feasibility_tol * (1 + rhs_norm_)) {
         solution.status = SolveStatus::kInfeasible;
+        solution.stats.phase1_pivots = solution.iterations;
         return solution;
       }
       // Pin artificials at zero for phase 2 (their values are within the
@@ -58,6 +73,7 @@ class Tableau {
         xval_[j] = 0;
       }
     }
+    solution.stats.phase1_pivots = solution.iterations;
 
     // Phase 2: the true objective.
     SetPhase2Costs(problem);
@@ -73,12 +89,11 @@ class Tableau {
     }
     RecomputeDuals();
     solution.duals = y_;
+    ExportBasis(&solution.basis);
     return solution;
   }
 
  private:
-  static constexpr double kInf = kInfinity;
-
   void BuildColumns(const LpProblem& problem) {
     num_struct_ = problem.num_vars();
     const LpProblem::Columns cols = problem.BuildColumns();
@@ -291,12 +306,6 @@ class Tableau {
         }
       }
     }
-    // `inv` now satisfies inv * mat = I where mat's column i is basis col at
-    // position i; i.e., row i of inv extracts basis position i. But our
-    // pivot-update convention stores Binv with row i for basis position i as
-    // well, applied to original row space: mat[row][pos]. The Gauss-Jordan
-    // above inverted mat as written, giving inv = mat^{-1} with
-    // inv[pos][row] — exactly the layout binv_ uses.
   }
 
   double EnteringDelta(int j, double d) const {
@@ -308,6 +317,23 @@ class Tableau {
 
   bool Eligible(int j) const {
     return basic_row_[j] < 0 && lo_[j] < hi_[j];
+  }
+
+  // Maps the final basis into per-variable / per-row statuses. A basic
+  // slack or artificial marks its row's logical variable basic.
+  void ExportBasis(Basis* out) const {
+    out->structural.resize(num_struct_);
+    for (int j = 0; j < num_struct_; ++j) {
+      out->structural[j] = basic_row_[j] >= 0 ? VarStatus::kBasic
+                           : at_upper_[j]     ? VarStatus::kAtUpper
+                                              : VarStatus::kAtLower;
+    }
+    out->logical.assign(m_, VarStatus::kAtLower);
+    for (int i = 0; i < m_; ++i) {
+      const int c = basis_[i];
+      if (c < num_struct_) continue;
+      out->logical[entry_row_[col_start_[c]]] = VarStatus::kBasic;
+    }
   }
 
   // One phase of primal simplex on the current costs. Returns kOptimal when
@@ -336,7 +362,10 @@ class Tableau {
           }
         }
       } else {
-        const int window = std::max(200, total_cols_ / 8);
+        // Small partial-pricing sections: the rotating cursor already gives
+        // every column a regular turn, so a narrow window changes the pivot
+        // sequence only marginally while making each pricing pass cheap.
+        const int window = std::max(200, total_cols_ / 32);
         int scanned = 0;
         int j = price_cursor;
         while (scanned < total_cols_) {
@@ -508,13 +537,724 @@ class Tableau {
   std::vector<double> w_;       // FTRAN scratch
 };
 
+// ---------------------------------------------------------------------------
+// Sparse revised-simplex engine.
+//
+// Same column layout, pricing, ratio test, and two-phase structure as the
+// dense engine, but the basis inverse is replaced by a BasisFactorization
+// (sparse LU + bounded eta file), so a pivot costs an FTRAN, a sparse
+// unit-vector BTRAN for the dual update, and one appended eta — O(m + fill)
+// instead of O(m^2). Basis "positions" are decoupled from constraint rows
+// here: basis_[p] is the column occupying position p, and FTRAN output /
+// ratio-test / eta indices all live in position space, while rhs, duals and
+// column entries live in row space.
+//
+// Warm start: a Basis hint seeds basis_/at_upper_, the crashed basis is
+// factorized (numerically dependent columns are repaired with pinned
+// artificials), and x_B is computed. If the crashed point is primal
+// feasible, phase 1 is skipped entirely; otherwise a few feasibility-
+// restoration rounds run (out-of-bound basic variables get a working box
+// [bound, x] and a +-1 surrogate cost driving them back inside; everything
+// else keeps its true bounds, so feasible variables stay feasible). If
+// restoration stalls, the engine falls back to a cold two-phase start —
+// warm starting is an accelerator, never a correctness risk.
+class SparseTableau {
+ public:
+  SparseTableau(const LpProblem& problem, const SimplexOptions& options,
+                const Basis* hint)
+      : options_(options), m_(problem.num_constraints()) {
+    BuildColumns(problem);
+    bool tried_warm = false;
+    if (hint != nullptr && !hint->empty() &&
+        hint->CompatibleWith(problem.num_vars(), m_)) {
+      tried_warm = true;
+      warm_ok_ = TryWarmStart(*hint);
+    }
+    if (!warm_ok_) {
+      if (tried_warm) ResetModel(problem);  // discard partial crash state
+      InitCold(problem);
+    }
+  }
+
+  LpSolution Run(const LpProblem& problem) {
+    LpSolution solution;
+    const int max_iters = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : std::max(20000, 50 * m_);
+
+    // ---- Reach primal feasibility ----
+    if (warm_ok_) {
+      stats_.warm_started = true;
+      bool feasible = CountViolations() == 0;
+      stats_.warm_feasible = feasible;
+      for (int round = 0; round < 3 && !feasible; ++round) {
+        std::vector<SavedBound> saved;
+        BoxViolators(&saved);
+        RecomputeDuals();
+        const SolveStatus st = Iterate(max_iters, &solution.iterations);
+        RestoreTrueBounds(saved);
+        if (st == SolveStatus::kIterationLimit) {
+          solution.status = st;
+          return Finish(std::move(solution));
+        }
+        if (st != SolveStatus::kOptimal) break;
+        feasible = CountViolations() == 0;
+      }
+      if (!feasible) {
+        // Restoration could not reach the true bounds: discard the hint and
+        // cold-start so infeasibility is decided by the real phase 1.
+        stats_ = SolverStats{};
+        warm_ok_ = false;
+        ResetModel(problem);
+        InitCold(problem);
+      }
+    }
+    if (!warm_ok_ && num_art_ > 0) {
+      SetPhase1Costs();
+      RecomputeDuals();
+      const SolveStatus st = Iterate(max_iters, &solution.iterations);
+      if (st == SolveStatus::kIterationLimit) {
+        solution.status = st;
+        return Finish(std::move(solution));
+      }
+      SLP_CHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
+      if (CurrentObjective() > options_.feasibility_tol * (1 + rhs_norm_)) {
+        solution.status = SolveStatus::kInfeasible;
+        stats_.phase1_pivots = solution.iterations;
+        return Finish(std::move(solution));
+      }
+      for (int j = art_begin_; j < total_cols_; ++j) {
+        lo_[j] = 0;
+        hi_[j] = 0;
+        xval_[j] = 0;
+      }
+    }
+    stats_.phase1_pivots = solution.iterations;
+
+    // ---- Phase 2 ----
+    SetPhase2Costs(problem);
+    RecomputeDuals();
+    const SolveStatus st = Iterate(max_iters, &solution.iterations);
+    solution.status = st;
+    if (st != SolveStatus::kOptimal) return Finish(std::move(solution));
+
+    solution.x.assign(xval_.begin(), xval_.begin() + num_struct_);
+    solution.objective = 0;
+    for (int j = 0; j < num_struct_; ++j) {
+      solution.objective += problem.obj(j) * solution.x[j];
+    }
+    RecomputeDuals();
+    solution.duals = y_;
+    ExportBasis(&solution.basis);
+    return Finish(std::move(solution));
+  }
+
+ private:
+  struct SavedBound {
+    int col;
+    double lo;
+    double hi;
+  };
+
+  LpSolution Finish(LpSolution solution) {
+    if (ftran_count_ > 0) {
+      stats_.avg_ftran_density = ftran_density_sum_ / ftran_count_;
+    }
+    solution.stats = stats_;
+    return solution;
+  }
+
+  void BuildColumns(const LpProblem& problem) {
+    num_struct_ = problem.num_vars();
+    const LpProblem::Columns cols = problem.BuildColumns();
+
+    col_start_.assign(1, 0);
+    entry_row_.clear();
+    entry_coef_.clear();
+    lo_.clear();
+    hi_.clear();
+    for (int j = 0; j < num_struct_; ++j) {
+      for (int p = cols.col_start[j]; p < cols.col_start[j + 1]; ++p) {
+        entry_row_.push_back(cols.row[p]);
+        entry_coef_.push_back(cols.coef[p]);
+      }
+      col_start_.push_back(static_cast<int>(entry_row_.size()));
+      lo_.push_back(problem.lo(j));
+      hi_.push_back(problem.hi(j));
+    }
+
+    slack_begin_ = num_struct_;
+    slack_col_of_row_.assign(m_, -1);
+    for (int i = 0; i < m_; ++i) {
+      const Sense s = problem.sense(i);
+      if (s == Sense::kEqual) continue;
+      const double coef = (s == Sense::kLessEqual) ? 1.0 : -1.0;
+      slack_col_of_row_[i] = static_cast<int>(col_start_.size()) - 1;
+      entry_row_.push_back(i);
+      entry_coef_.push_back(coef);
+      col_start_.push_back(static_cast<int>(entry_row_.size()));
+      lo_.push_back(0);
+      hi_.push_back(kInf);
+    }
+    art_begin_ = static_cast<int>(col_start_.size()) - 1;
+    total_cols_ = art_begin_;
+    num_art_ = 0;
+
+    xval_.assign(total_cols_, 0.0);
+    at_upper_.assign(total_cols_, false);
+
+    rhs_.resize(m_);
+    rhs_norm_ = 0;
+    for (int i = 0; i < m_; ++i) {
+      rhs_[i] = problem.rhs(i);
+      rhs_norm_ = std::max(rhs_norm_, std::abs(rhs_[i]));
+    }
+
+    w_vec_.Resize(m_);
+    rho_.Resize(m_);
+    cb_.Resize(m_);
+    rhs_work_.Resize(m_);
+    y_.assign(m_, 0.0);
+    resid_scratch_.assign(m_, 0.0);
+  }
+
+  // Drops warm-start artificials and restores the pristine column set.
+  void ResetModel(const LpProblem& problem) { BuildColumns(problem); }
+
+  // Appends an artificial column `coef`·e_row with bounds [lo, hi].
+  int AddArtificial(int row, double coef, double lo, double hi) {
+    entry_row_.push_back(row);
+    entry_coef_.push_back(coef);
+    col_start_.push_back(static_cast<int>(entry_row_.size()));
+    lo_.push_back(lo);
+    hi_.push_back(hi);
+    xval_.push_back(0);
+    at_upper_.push_back(false);
+    ++total_cols_;
+    return total_cols_ - 1;
+  }
+
+  void InitCold(const LpProblem& problem) {
+    for (int j = 0; j < num_struct_; ++j) xval_[j] = lo_[j];
+
+    std::vector<double> resid = rhs_;
+    for (int j = 0; j < num_struct_; ++j) {
+      if (xval_[j] == 0) continue;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+        resid[entry_row_[p]] -= entry_coef_[p] * xval_[j];
+      }
+    }
+
+    basis_.assign(m_, -1);
+    std::vector<double> basic_value(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const Sense s = problem.sense(i);
+      const double r = resid[i];
+      const int sc = slack_col_of_row_[i];
+      bool use_slack = false;
+      if (s == Sense::kLessEqual && r >= 0) use_slack = true;
+      if (s == Sense::kGreaterEqual && r <= 0) use_slack = true;
+      if (use_slack) {
+        basis_[i] = sc;
+        basic_value[i] = std::abs(r);
+      } else {
+        const double coef = (r >= 0) ? 1.0 : -1.0;
+        basis_[i] = AddArtificial(i, coef, 0, kInf);
+        basic_value[i] = std::abs(r);
+        ++num_art_;
+      }
+    }
+
+    basic_row_.assign(total_cols_, -1);
+    for (int i = 0; i < m_; ++i) {
+      basic_row_[basis_[i]] = i;
+      xval_[basis_[i]] = basic_value[i];
+    }
+
+    // Initial basis is diagonal (+-1 singleton columns): factorization is
+    // trivially nonsingular.
+    const auto repairs = factor_.Factorize(col_start_, entry_row_, entry_coef_,
+                                           basis_, m_, kFactorPivotEps);
+    SLP_CHECK(repairs.empty());
+    ++stats_.refactorizations;
+  }
+
+  // Crash the basis from a hint. Returns false (leaving partially mutated
+  // state for ResetModel to discard) when the hint can't produce a full
+  // basis. Repairs from the factorization get pinned artificials; any
+  // resulting bound violations are handled by the restoration rounds.
+  bool TryWarmStart(const Basis& hint) {
+    std::vector<int> basic_cols;
+    basic_cols.reserve(m_);
+    for (int j = 0; j < num_struct_; ++j) {
+      switch (hint.structural[j]) {
+        case VarStatus::kBasic:
+          basic_cols.push_back(j);
+          break;
+        case VarStatus::kAtUpper:
+          if (hi_[j] < kInf) {
+            xval_[j] = hi_[j];
+            at_upper_[j] = true;
+          } else {
+            xval_[j] = lo_[j];
+          }
+          break;
+        case VarStatus::kAtLower:
+          xval_[j] = lo_[j];
+          break;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (hint.logical[i] != VarStatus::kBasic) continue;
+      const int sc = slack_col_of_row_[i];
+      // Equality rows have no slack column; stand in a pinned artificial
+      // (bounds [0,0]) whose unit column matches what the row contributes.
+      basic_cols.push_back(sc >= 0 ? sc : AddArtificial(i, 1.0, 0, 0));
+    }
+    if (static_cast<int>(basic_cols.size()) != m_) return false;
+
+    basis_ = std::move(basic_cols);
+    basic_row_.assign(total_cols_, -1);
+    for (int p = 0; p < m_; ++p) basic_row_[basis_[p]] = p;
+
+    const auto repairs = factor_.Factorize(col_start_, entry_row_, entry_coef_,
+                                           basis_, m_, kFactorPivotEps);
+    ++stats_.refactorizations;
+    for (const auto& rep : repairs) {
+      // The dependent column leaves the (repaired) basis at its lower bound;
+      // the factorization already substituted e_row, so point the position
+      // at a matching pinned artificial.
+      const int old_col = basis_[rep.position];
+      basic_row_[old_col] = -1;
+      at_upper_[old_col] = false;
+      xval_[old_col] = lo_[old_col];
+      const int ac = AddArtificial(rep.row, 1.0, 0, 0);
+      basis_[rep.position] = ac;
+      basic_row_.push_back(rep.position);
+    }
+    ComputeBasicValues();
+    return true;
+  }
+
+  void SetPhase1Costs() {
+    cost_.assign(total_cols_, 0.0);
+    for (int j = art_begin_; j < total_cols_; ++j) cost_[j] = 1.0;
+  }
+
+  void SetPhase2Costs(const LpProblem& problem) {
+    cost_.assign(total_cols_, 0.0);
+    for (int j = 0; j < num_struct_; ++j) cost_[j] = problem.obj(j);
+  }
+
+  double FeasTol() const {
+    return options_.feasibility_tol * (1 + rhs_norm_);
+  }
+
+  int CountViolations() const {
+    const double tol = FeasTol();
+    int count = 0;
+    for (int c = 0; c < total_cols_; ++c) {
+      if (xval_[c] > hi_[c] + tol || xval_[c] < lo_[c] - tol) ++count;
+    }
+    return count;
+  }
+
+  // Gives every out-of-bounds variable a working box [violated bound, x] and
+  // a +-1 surrogate cost pulling it back toward its true range; everything
+  // else keeps cost 0 and true bounds. Minimizing the surrogate is then
+  // exactly minimizing total bound violation within the boxes.
+  void BoxViolators(std::vector<SavedBound>* saved) {
+    cost_.assign(total_cols_, 0.0);
+    const double tol = FeasTol();
+    for (int c = 0; c < total_cols_; ++c) {
+      const double x = xval_[c];
+      if (x > hi_[c] + tol) {
+        saved->push_back({c, lo_[c], hi_[c]});
+        cost_[c] = 1.0;
+        lo_[c] = hi_[c];
+        hi_[c] = x;
+        if (basic_row_[c] < 0) at_upper_[c] = true;
+      } else if (x < lo_[c] - tol) {
+        saved->push_back({c, lo_[c], hi_[c]});
+        cost_[c] = -1.0;
+        hi_[c] = lo_[c];
+        lo_[c] = x;
+        if (basic_row_[c] < 0) at_upper_[c] = false;
+      }
+    }
+  }
+
+  void RestoreTrueBounds(const std::vector<SavedBound>& saved) {
+    for (const SavedBound& s : saved) {
+      lo_[s.col] = s.lo;
+      hi_[s.col] = s.hi;
+      if (basic_row_[s.col] < 0) {
+        // Snap the nonbasic status to the nearer true bound.
+        at_upper_[s.col] =
+            s.hi < kInf &&
+            std::abs(xval_[s.col] - s.hi) <= std::abs(xval_[s.col] - s.lo);
+      }
+    }
+  }
+
+  double CurrentObjective() const {
+    double obj = 0;
+    for (int j = 0; j < total_cols_; ++j) obj += cost_[j] * xval_[j];
+    return obj;
+  }
+
+  // y = B^-T c_B via one full BTRAN.
+  void RecomputeDuals() {
+    cb_.Clear();
+    for (int p = 0; p < m_; ++p) {
+      const double cb = cost_[basis_[p]];
+      if (cb != 0) cb_.Set(p, cb);
+    }
+    factor_.Btran(&cb_, options_.density_threshold);
+    y_.assign(m_, 0.0);
+    if (cb_.dense) {
+      for (int i = 0; i < m_; ++i) y_[i] = cb_.val[i];
+    } else {
+      for (int i : cb_.idx) y_[i] = cb_.val[i];
+    }
+  }
+
+  double ReducedCost(int j) const {
+    double d = cost_[j];
+    for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+      d -= y_[entry_row_[p]] * entry_coef_[p];
+    }
+    return d;
+  }
+
+  // x_B = B^-1 (b - N x_N). Returns the residual ||B x_B - (b - N x_N)||_inf
+  // as a cheap instability probe.
+  double ComputeBasicValues() {
+    std::vector<double>& r = resid_scratch_;
+    r = rhs_;
+    for (int j = 0; j < total_cols_; ++j) {
+      if (basic_row_[j] >= 0 || xval_[j] == 0) continue;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+        r[entry_row_[p]] -= entry_coef_[p] * xval_[j];
+      }
+    }
+    rhs_work_.Clear();
+    rhs_work_.dense = true;
+    for (int i = 0; i < m_; ++i) rhs_work_.val[i] = r[i];
+    factor_.Ftran(&rhs_work_, options_.density_threshold);
+    for (int p = 0; p < m_; ++p) xval_[basis_[p]] = rhs_work_.val[p];
+
+    double resid = 0;
+    std::vector<double> acc(m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      const int c = basis_[p];
+      const double x = xval_[c];
+      if (x == 0) continue;
+      for (int e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+        acc[entry_row_[e]] += entry_coef_[e] * x;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      resid = std::max(resid, std::abs(acc[i] - r[i]));
+    }
+    return resid;
+  }
+
+  // Factorizes the current basis from scratch, resetting the eta file. A
+  // repair here would mean the pivot tolerances let a numerically singular
+  // basis through — same invariant the dense engine CHECKs.
+  void Refactorize() {
+    stats_.max_eta_length =
+        std::max(stats_.max_eta_length, factor_.eta_count());
+    const auto repairs = factor_.Factorize(col_start_, entry_row_, entry_coef_,
+                                           basis_, m_, kFactorPivotEps);
+    SLP_CHECK(repairs.empty());
+    ++stats_.refactorizations;
+  }
+
+  double EnteringDelta(int j, double d) const {
+    if (!at_upper_[j] && d < -options_.optimality_tol) return -d;
+    if (at_upper_[j] && d > options_.optimality_tol && hi_[j] < kInf) return d;
+    return 0;
+  }
+
+  bool Eligible(int j) const {
+    return basic_row_[j] < 0 && lo_[j] < hi_[j];
+  }
+
+  void ExportBasis(Basis* out) const {
+    out->structural.resize(num_struct_);
+    for (int j = 0; j < num_struct_; ++j) {
+      out->structural[j] = basic_row_[j] >= 0 ? VarStatus::kBasic
+                           : at_upper_[j]     ? VarStatus::kAtUpper
+                                              : VarStatus::kAtLower;
+    }
+    out->logical.assign(m_, VarStatus::kAtLower);
+    for (int p = 0; p < m_; ++p) {
+      const int c = basis_[p];
+      if (c < num_struct_) continue;
+      out->logical[entry_row_[col_start_[c]]] = VarStatus::kBasic;
+    }
+  }
+
+  // One phase of primal simplex on the current costs; the pivot loop matches
+  // the dense engine but runs every linear-algebra step through the LU+eta
+  // factorization with sparse right-hand sides.
+  SolveStatus Iterate(int max_iters, int* iteration_counter) {
+    int since_recompute = 0;
+    int since_refactor = 0;
+    int stall = 0;
+    bool bland = false;
+    bool verified = false;  // optimality confirmed with fresh duals
+    double last_obj = CurrentObjective();
+    int price_cursor = 0;
+
+    while (true) {
+      if (*iteration_counter >= max_iters) return SolveStatus::kIterationLimit;
+
+      // ---- Pricing ----
+      int q = -1;
+      double best_delta = 0;
+      if (bland) {
+        for (int j = 0; j < total_cols_; ++j) {
+          if (!Eligible(j)) continue;
+          if (EnteringDelta(j, ReducedCost(j)) > 0) {
+            q = j;
+            break;
+          }
+        }
+      } else {
+        // Small partial-pricing sections: the rotating cursor already gives
+        // every column a regular turn, so a narrow window changes the pivot
+        // sequence only marginally while making each pricing pass cheap.
+        const int window = std::max(200, total_cols_ / 32);
+        int scanned = 0;
+        int j = price_cursor;
+        while (scanned < total_cols_) {
+          if (Eligible(j)) {
+            const double delta = EnteringDelta(j, ReducedCost(j));
+            if (delta > best_delta) {
+              best_delta = delta;
+              q = j;
+            }
+          }
+          ++scanned;
+          ++j;
+          if (j >= total_cols_) j = 0;
+          if (q >= 0 && scanned >= window) break;
+        }
+        price_cursor = j;
+      }
+      if (q < 0) {
+        if (verified) return SolveStatus::kOptimal;
+        ComputeBasicValues();
+        RecomputeDuals();
+        verified = true;
+        continue;
+      }
+      verified = false;
+
+      ++(*iteration_counter);
+
+      // ---- FTRAN: w = B^-1 A_q (position space) ----
+      w_vec_.Clear();
+      for (int p = col_start_[q]; p < col_start_[q + 1]; ++p) {
+        w_vec_.Add(entry_row_[p], entry_coef_[p]);
+      }
+      factor_.Ftran(&w_vec_, options_.density_threshold);
+      ftran_density_sum_ +=
+          static_cast<double>(w_vec_.nnz()) / std::max(1, m_);
+      ++ftran_count_;
+
+      const double d_q = ReducedCost(q);
+      const double sigma = at_upper_[q] ? -1.0 : 1.0;
+
+      // ---- Ratio test (over the nonzeros of w) ----
+      double theta = (hi_[q] < kInf) ? hi_[q] - lo_[q] : kInf;  // bound flip
+      int leave = -1;          // basis *position* of leaving variable
+      double leave_pivot = 0;  // w[leave]
+      bool leave_at_upper = false;
+      auto ratio_visit = [&](int i, double wi) {
+        const double delta = sigma * wi;
+        if (std::abs(delta) <= options_.pivot_tol) return;
+        const int bcol = basis_[i];
+        double limit;
+        bool hits_upper;
+        if (delta > 0) {
+          limit = (xval_[bcol] - lo_[bcol]) / delta;
+          hits_upper = false;
+        } else {
+          if (hi_[bcol] >= kInf) return;
+          limit = (hi_[bcol] - xval_[bcol]) / (-delta);
+          hits_upper = true;
+        }
+        if (limit < 0) limit = 0;
+        const bool better =
+            limit < theta - 1e-10 ||
+            (limit < theta + 1e-10 && leave >= 0 &&
+             (bland ? bcol < basis_[leave]
+                    : std::abs(wi) > std::abs(leave_pivot)));
+        if (better || (leave < 0 && limit < theta - 1e-10)) {
+          theta = std::min(theta, limit);
+          leave = i;
+          leave_pivot = wi;
+          leave_at_upper = hits_upper;
+        }
+      };
+      if (w_vec_.dense) {
+        for (int i = 0; i < m_; ++i) {
+          if (w_vec_.val[i] != 0) ratio_visit(i, w_vec_.val[i]);
+        }
+      } else {
+        for (int i : w_vec_.idx) {
+          if (w_vec_.val[i] != 0) ratio_visit(i, w_vec_.val[i]);
+        }
+      }
+
+      if (theta >= kInf) return SolveStatus::kUnbounded;
+
+      // ---- Apply the step ----
+      if (theta > 0) {
+        auto step_visit = [&](int i, double wi) {
+          xval_[basis_[i]] -= sigma * theta * wi;
+        };
+        if (w_vec_.dense) {
+          for (int i = 0; i < m_; ++i) {
+            if (w_vec_.val[i] != 0) step_visit(i, w_vec_.val[i]);
+          }
+        } else {
+          for (int i : w_vec_.idx) {
+            if (w_vec_.val[i] != 0) step_visit(i, w_vec_.val[i]);
+          }
+        }
+      }
+
+      if (leave < 0) {
+        // Bound flip: q moves to its opposite bound; basis unchanged.
+        at_upper_[q] = !at_upper_[q];
+        xval_[q] = at_upper_[q] ? hi_[q] : lo_[q];
+      } else {
+        const int lcol = basis_[leave];
+        xval_[q] = (at_upper_[q] ? hi_[q] : lo_[q]) + sigma * theta;
+        xval_[lcol] = leave_at_upper ? hi_[lcol] : lo_[lcol];
+        at_upper_[lcol] = leave_at_upper;
+        basis_[leave] = q;
+        basic_row_[q] = leave;
+        basic_row_[lcol] = -1;
+
+        // ---- Update the factorization (append one eta) ----
+        factor_.AppendEta(w_vec_, leave);
+        stats_.max_eta_length =
+            std::max(stats_.max_eta_length, factor_.eta_count());
+
+        // Incremental dual update: y += d_q * (B_new^-T e_leave), the
+        // sparse-BTRAN analogue of adding the new Binv row.
+        rho_.Clear();
+        rho_.Set(leave, 1.0);
+        factor_.Btran(&rho_, options_.density_threshold);
+        if (rho_.dense) {
+          for (int k = 0; k < m_; ++k) y_[k] += d_q * rho_.val[k];
+        } else {
+          for (int k : rho_.idx) y_[k] += d_q * rho_.val[k];
+        }
+
+        ++since_recompute;
+        ++since_refactor;
+      }
+
+      // ---- Housekeeping ----
+      // Refactorize on eta-file length, eta fill relative to the LU, or the
+      // (large) hard pivot cadence; recompute state on the usual interval
+      // and escalate to a refactorization if the residual probe says the
+      // eta chain has gone unstable.
+      const bool need_refactor =
+          since_refactor > 0 &&
+          (factor_.eta_count() >= options_.max_eta ||
+           factor_.eta_nnz() >
+               options_.eta_fill_factor * factor_.lu_nnz() ||
+           since_refactor >= options_.refactor_interval);
+      if (need_refactor) {
+        Refactorize();
+        ComputeBasicValues();
+        RecomputeDuals();
+        since_refactor = 0;
+        since_recompute = 0;
+      } else if (since_recompute >= options_.recompute_interval) {
+        const double resid = ComputeBasicValues();
+        if (resid > 1e-6 * (1 + rhs_norm_) && since_refactor > 0) {
+          Refactorize();
+          ComputeBasicValues();
+          since_refactor = 0;
+        }
+        RecomputeDuals();
+        since_recompute = 0;
+      }
+
+      const double obj = CurrentObjective();
+      if (obj < last_obj - 1e-12) {
+        stall = 0;
+        last_obj = obj;
+      } else if (++stall > options_.stall_threshold && !bland) {
+        bland = true;  // guarantee termination on degenerate instances
+        RecomputeDuals();
+      }
+    }
+  }
+
+  const SimplexOptions options_;
+  const int m_;  // rows
+
+  // Sparse columns, contiguous across [structural | slack | artificial].
+  std::vector<int> col_start_;
+  std::vector<int> entry_row_;
+  std::vector<double> entry_coef_;
+  std::vector<double> lo_, hi_, cost_, xval_;
+  std::vector<bool> at_upper_;
+  std::vector<double> rhs_;
+  double rhs_norm_ = 0;
+
+  int num_struct_ = 0;
+  int slack_begin_ = 0;
+  int art_begin_ = 0;
+  int total_cols_ = 0;
+  int num_art_ = 0;
+  std::vector<int> slack_col_of_row_;
+  bool warm_ok_ = false;
+
+  std::vector<int> basis_;      // basis_[position] = column at that position
+  std::vector<int> basic_row_;  // inverse map, -1 when nonbasic
+  std::vector<double> y_;       // duals (row space)
+
+  BasisFactorization factor_;
+  ScatterVec w_vec_;   // FTRAN of the entering column
+  ScatterVec rho_;     // BTRAN unit vector for the dual update
+  ScatterVec cb_;      // BTRAN of c_B
+  ScatterVec rhs_work_;
+  std::vector<double> resid_scratch_;
+
+  SolverStats stats_;
+  double ftran_density_sum_ = 0;
+  int64_t ftran_count_ = 0;
+};
+
 }  // namespace
 
-LpSolution SimplexSolver::Solve(const LpProblem& problem) const {
+LpSolution SimplexSolver::Solve(const LpProblem& problem,
+                                const Basis* hint) const {
   SLP_CHECK(problem.num_constraints() > 0);
   SLP_CHECK(problem.num_vars() > 0);
-  Tableau tableau(problem, options_);
-  return tableau.Run(problem);
+  WallTimer timer;
+  LpSolution solution;
+  if (options_.use_dense_engine) {
+    DenseTableau tableau(problem, options_);
+    solution = tableau.Run(problem);
+  } else {
+    SparseTableau tableau(problem, options_, hint);
+    solution = tableau.Run(problem);
+  }
+  solution.stats.pivots = solution.iterations;
+  solution.stats.solve_seconds = timer.Seconds();
+  return solution;
 }
 
 }  // namespace slp::lp

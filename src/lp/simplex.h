@@ -3,14 +3,25 @@
 // This is the LP engine behind LPRelax (Section IV-A.1). It supports
 // variables with finite lower bounds and possibly-infinite upper bounds,
 // <= / >= / = rows, infeasibility and unboundedness detection, Dantzig
-// pricing with a partial-pricing window, a Bland anti-cycling fallback, and
-// periodic refactorization of the dense basis inverse for numerical
-// hygiene.
+// pricing with a partial-pricing window, and a Bland anti-cycling fallback.
 //
-// Intended problem sizes: up to a few thousand rows (the dense basis
-// inverse costs O(rows^2) memory and O(rows^2) work per pivot). SLP keeps
-// its LPs this small by construction — that is exactly the point of the
-// paper's coreset + sampling machinery.
+// Two engines share that pivot loop:
+//
+//  * The default sparse engine represents the basis as a sparse LU
+//    factorization plus a bounded product-form eta file
+//    (src/lp/lu_factor.h). FTRAN/BTRAN exploit right-hand-side sparsity,
+//    so a pivot costs O(m + fill) instead of the dense engine's O(m^2),
+//    and the factorization is rebuilt only on eta-length / fill /
+//    instability triggers. It also supports warm starts: Solve() returns
+//    the final Basis, and a later Solve(problem, &basis) on a
+//    structurally identical problem (same variable/row counts — e.g.
+//    after rhs or objective edits) crashes its starting basis from the
+//    hint, typically reaching the new optimum in a handful of pivots.
+//
+//  * The legacy dense engine (options.use_dense_engine) keeps an explicit
+//    dense basis inverse. It is retained as the cross-check reference for
+//    the stress tests and as the baseline the LP benchmarks compare
+//    against; it ignores warm-start hints.
 
 #ifndef SLP_LP_SIMPLEX_H_
 #define SLP_LP_SIMPLEX_H_
@@ -18,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/lp/basis.h"
 #include "src/lp/lp_problem.h"
 
 namespace slp::lp {
@@ -37,13 +49,26 @@ struct SimplexOptions {
   int max_iterations = 0;
   // Recompute basic values / duals from scratch this often (pivots).
   int recompute_interval = 500;
-  // Rebuild the basis inverse by Gauss-Jordan this often (pivots).
+  // Hard refactorization cadence (pivots). The sparse engine usually
+  // refactorizes much earlier via max_eta / eta_fill_factor; for the dense
+  // engine this is the only trigger.
   int refactor_interval = 3000;
   // Consecutive non-improving pivots before switching to Bland's rule.
   int stall_threshold = 2000;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-8;
+
+  // --- sparse engine knobs ---
+  // Refactorize once the eta file holds this many pivots...
+  int max_eta = 64;
+  // ...or once the eta entries outnumber eta_fill_factor * nnz(LU).
+  double eta_fill_factor = 4.0;
+  // FTRAN/BTRAN right-hand sides stop tracking their nonzero pattern and
+  // fall back to dense scans beyond this fill fraction.
+  double density_threshold = 0.25;
+  // Use the legacy dense basis-inverse engine (reference / baseline).
+  bool use_dense_engine = false;
 };
 
 struct LpSolution {
@@ -52,14 +77,26 @@ struct LpSolution {
   std::vector<double> x;      // primal values, one per problem variable
   std::vector<double> duals;  // one per constraint (valid when optimal)
   int iterations = 0;
+  SolverStats stats;
+  // Final basis snapshot (empty unless the solve ended kOptimal). Feed it
+  // back into Solve() to warm-start a re-solve after rhs/objective edits.
+  Basis basis;
 };
 
-// Solves `problem` (a minimization LP). Stateless across calls.
+// Solves `problem` (a minimization LP). Stateless across calls; any
+// warm-start state lives in the Basis value the caller threads through.
 class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
-  LpSolution Solve(const LpProblem& problem) const;
+  LpSolution Solve(const LpProblem& problem) const {
+    return Solve(problem, nullptr);
+  }
+
+  // `hint`, when non-null, non-empty, and dimension-compatible with
+  // `problem`, seeds the starting basis (sparse engine only); otherwise
+  // the solver cold-starts with the usual two-phase method.
+  LpSolution Solve(const LpProblem& problem, const Basis* hint) const;
 
  private:
   SimplexOptions options_;

@@ -1,0 +1,416 @@
+// Stress tests for the sparse revised-simplex engine (src/lp/simplex.cc).
+//
+// Three families:
+//  * randomized LPs cross-checked against the legacy dense basis-inverse
+//    engine (status, objective, primal feasibility);
+//  * degenerate / cycling-prone instances that exercise the Bland fallback
+//    and the eta-length / fill refactorization triggers;
+//  * warm-start property tests: perturbed-rhs (and objective) re-solves
+//    seeded with the previous basis must classify and score exactly like a
+//    cold start.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/lp/basis.h"
+#include "src/lp/lp_problem.h"
+#include "src/lp/simplex.h"
+
+namespace slp::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Checks that x satisfies all constraints and bounds of p (same contract as
+// the helper in lp_test.cc).
+void ExpectFeasible(const LpProblem& p, const std::vector<double>& x) {
+  ASSERT_EQ(static_cast<int>(x.size()), p.num_vars());
+  for (int j = 0; j < p.num_vars(); ++j) {
+    EXPECT_GE(x[j], p.lo(j) - kTol) << "var " << j;
+    EXPECT_LE(x[j], p.hi(j) + kTol) << "var " << j;
+  }
+  std::vector<double> lhs = p.EvaluateRows(x);
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    switch (p.sense(i)) {
+      case Sense::kLessEqual:
+        EXPECT_LE(lhs[i], p.rhs(i) + kTol) << "row " << i;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_GE(lhs[i], p.rhs(i) - kTol) << "row " << i;
+        break;
+      case Sense::kEqual:
+        EXPECT_NEAR(lhs[i], p.rhs(i), kTol) << "row " << i;
+        break;
+    }
+  }
+}
+
+// Random bounded-variable LP with mixed senses and tunable density. All
+// variables are boxed, so the only possible statuses are optimal/infeasible.
+LpProblem RandomBoxedLp(Rng& rng, int n, int m, double density) {
+  LpProblem p;
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.Bernoulli(0.25) ? rng.Uniform(-1, 1) : 0.0;
+    p.AddVariable(rng.Uniform(-5, 5), lo, lo + rng.Uniform(0.5, 4));
+  }
+  for (int i = 0; i < m; ++i) {
+    const int pick = static_cast<int>(rng.UniformInt(0, 2));
+    const Sense s = pick == 0   ? Sense::kLessEqual
+                    : pick == 1 ? Sense::kGreaterEqual
+                                : Sense::kEqual;
+    int r = p.AddConstraint(s, rng.Uniform(-2, 6));
+    int placed = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(density)) {
+        p.AddEntry(r, j, std::round(rng.Uniform(-3, 3)));
+        ++placed;
+      }
+    }
+    if (placed == 0) {
+      p.AddEntry(r, static_cast<int>(rng.UniformInt(0, n - 1)), 1);
+    }
+  }
+  return p;
+}
+
+// Guaranteed-feasible covering-style LP: min c·x, A x >= b with x in [0,1]
+// and b small enough that x = 1 is feasible. Used where the test needs many
+// pivots on a feasible instance (refactorization / warm-start scenarios).
+LpProblem RandomCoveringLp(Rng& rng, int n, int m, double density) {
+  LpProblem p;
+  for (int j = 0; j < n; ++j) p.AddVariable(rng.Uniform(0.1, 2), 0, 1);
+  for (int i = 0; i < m; ++i) {
+    int r = p.AddConstraint(Sense::kGreaterEqual, 0);
+    double row_sum = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(density)) {
+        const double a = rng.Uniform(0.2, 2);
+        p.AddEntry(r, j, a);
+        row_sum += a;
+      }
+    }
+    if (row_sum == 0) {
+      p.AddEntry(r, static_cast<int>(rng.UniformInt(0, n - 1)), 1);
+      row_sum = 1;
+    }
+    p.SetRhs(r, rng.Uniform(0.2, 0.8) * row_sum);
+  }
+  return p;
+}
+
+// Solves p with both engines and cross-checks classification, objective,
+// and primal feasibility. Returns the sparse solution.
+LpSolution CrossCheck(const LpProblem& p, SimplexOptions base = {}) {
+  SimplexOptions sparse_opts = base;
+  sparse_opts.use_dense_engine = false;
+  SimplexOptions dense_opts = base;
+  dense_opts.use_dense_engine = true;
+
+  const LpSolution sparse = SimplexSolver(sparse_opts).Solve(p);
+  const LpSolution dense = SimplexSolver(dense_opts).Solve(p);
+  EXPECT_EQ(sparse.status, dense.status)
+      << "sparse=" << ToString(sparse.status)
+      << " dense=" << ToString(dense.status);
+  if (sparse.status == SolveStatus::kOptimal &&
+      dense.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(sparse.objective, dense.objective, kTol);
+    ExpectFeasible(p, sparse.x);
+    ExpectFeasible(p, dense.x);
+  }
+  return sparse;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized dense-vs-sparse cross-check sweep.
+// ---------------------------------------------------------------------------
+
+class DenseSparseCrossTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseSparseCrossTest, EnginesAgree) {
+  Rng rng(4200 + GetParam());
+  const int n = 5 + static_cast<int>(rng.UniformInt(0, 76));
+  const int m = 3 + static_cast<int>(rng.UniformInt(0, std::min(n, 38)));
+  const double density = rng.Uniform(0.1, 0.8);
+  const LpProblem p = RandomBoxedLp(rng, n, m, density);
+  CrossCheck(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenseSparseCrossTest, ::testing::Range(0, 60));
+
+// Larger feasible instances where the sparse data structures actually pay:
+// both engines must still agree exactly on classification and value.
+TEST(DenseSparseCrossTest, MediumCoveringInstancesAgree) {
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng(7100 + trial);
+    const LpProblem p = RandomCoveringLp(rng, 150, 80, 0.08);
+    const LpSolution sparse = CrossCheck(p);
+    ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
+    EXPECT_GT(sparse.stats.pivots, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate / cycling instances: Bland fallback and refactorization.
+// ---------------------------------------------------------------------------
+
+// Beale's classic cycling example: Dantzig pricing cycles forever on it
+// without anti-cycling safeguards. Optimum -1/20 at x = (1/25, 0, 1, 0).
+LpProblem BealeCyclingLp() {
+  LpProblem p;
+  int x1 = p.AddVariable(-0.75, 0, kInfinity);
+  int x2 = p.AddVariable(150, 0, kInfinity);
+  int x3 = p.AddVariable(-0.02, 0, kInfinity);
+  int x4 = p.AddVariable(6, 0, kInfinity);
+  int r1 = p.AddConstraint(Sense::kLessEqual, 0);
+  p.AddEntry(r1, x1, 0.25);
+  p.AddEntry(r1, x2, -60);
+  p.AddEntry(r1, x3, -1.0 / 25);
+  p.AddEntry(r1, x4, 9);
+  int r2 = p.AddConstraint(Sense::kLessEqual, 0);
+  p.AddEntry(r2, x1, 0.5);
+  p.AddEntry(r2, x2, -90);
+  p.AddEntry(r2, x3, -1.0 / 50);
+  p.AddEntry(r2, x4, 3);
+  int r3 = p.AddConstraint(Sense::kLessEqual, 1);
+  p.AddEntry(r3, x3, 1);
+  return p;
+}
+
+TEST(DegenerateStressTest, BealeCyclingSolvedUnderImmediateBland) {
+  const LpProblem p = BealeCyclingLp();
+  // stall_threshold = 1 flips to Bland's rule after a single non-improving
+  // pivot, so most of the run happens under the anti-cycling rule.
+  SimplexOptions opts;
+  opts.stall_threshold = 1;
+  for (bool dense : {false, true}) {
+    opts.use_dense_engine = dense;
+    const LpSolution sol = SimplexSolver(opts).Solve(p);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "dense=" << dense;
+    EXPECT_NEAR(sol.objective, -0.05, kTol);
+    ExpectFeasible(p, sol.x);
+  }
+}
+
+TEST(DegenerateStressTest, HighlyDegenerateAssignmentTerminates) {
+  // n x n assignment polytope relaxation: every vertex is massively
+  // degenerate (2n tight rows, n^2 variables). Cross-check both engines
+  // with an aggressive Bland switch.
+  const int n = 8;
+  Rng rng(99);
+  LpProblem p;
+  std::vector<std::vector<int>> v(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      v[i][j] = p.AddVariable(std::round(rng.Uniform(1, 20)), 0, 1);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    int r = p.AddConstraint(Sense::kEqual, 1);
+    for (int j = 0; j < n; ++j) p.AddEntry(r, v[i][j], 1);
+  }
+  for (int j = 0; j < n; ++j) {
+    int r = p.AddConstraint(Sense::kEqual, 1);
+    for (int i = 0; i < n; ++i) p.AddEntry(r, v[i][j], 1);
+  }
+  SimplexOptions opts;
+  opts.stall_threshold = 2;
+  CrossCheck(p, opts);
+}
+
+TEST(DegenerateStressTest, TinyEtaFileForcesRefactorizations) {
+  Rng rng(1234);
+  const LpProblem p = RandomCoveringLp(rng, 120, 60, 0.1);
+
+  SimplexOptions ref_opts;  // default triggers
+  const LpSolution ref = SimplexSolver(ref_opts).Solve(p);
+  ASSERT_EQ(ref.status, SolveStatus::kOptimal);
+
+  SimplexOptions tiny;
+  tiny.max_eta = 4;  // refactorize every <=4 pivots
+  const LpSolution sol = SimplexSolver(tiny).Solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, ref.objective, kTol);
+  ExpectFeasible(p, sol.x);
+  // Enough pivots happen that the tiny eta cap must trip repeatedly, and
+  // the recorded eta length can never exceed the cap.
+  EXPECT_GT(sol.stats.refactorizations, 2);
+  EXPECT_LE(sol.stats.max_eta_length, 4);
+}
+
+TEST(DegenerateStressTest, FillFactorTriggerAlsoRefactorizes) {
+  Rng rng(4321);
+  const LpProblem p = RandomCoveringLp(rng, 120, 60, 0.15);
+  SimplexOptions opts;
+  opts.eta_fill_factor = 0.01;  // any eta growth exceeds the fill budget
+  const LpSolution sol = SimplexSolver(opts).Solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  ExpectFeasible(p, sol.x);
+  EXPECT_GT(sol.stats.refactorizations, 2);
+
+  const LpSolution ref = SimplexSolver().Solve(p);
+  ASSERT_EQ(ref.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, ref.objective, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start property tests.
+// ---------------------------------------------------------------------------
+
+TEST(WarmStartTest, WarmStartMatchesColdStart) {
+  // Solve once cold, then repeatedly perturb the rhs and re-solve both ways:
+  // the warm solve (seeded with the previous basis) must classify and score
+  // exactly like the cold solve at every step.
+  Rng rng(2024);
+  LpProblem p = RandomCoveringLp(rng, 100, 50, 0.12);
+
+  const SimplexSolver solver;
+  LpSolution prev = solver.Solve(p);
+  ASSERT_EQ(prev.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(prev.basis.empty());
+
+  int warm_accepted = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < p.num_constraints(); ++i) {
+      if (rng.Bernoulli(0.3)) {
+        p.SetRhs(i, std::max(0.0, p.rhs(i) + rng.Uniform(-0.3, 0.3)));
+      }
+    }
+    const LpSolution warm = solver.Solve(p, &prev.basis);
+    const LpSolution cold = solver.Solve(p);
+    ASSERT_EQ(warm.status, cold.status) << "round " << round;
+    if (cold.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, kTol) << "round " << round;
+      ExpectFeasible(p, warm.x);
+      prev = warm;
+    }
+    if (warm.stats.warm_started) ++warm_accepted;
+  }
+  // Small rhs nudges keep the basis dimension-compatible, so the hint must
+  // actually be taken (not silently discarded) in every round.
+  EXPECT_EQ(warm_accepted, 10);
+}
+
+TEST(WarmStartTest, WarmStartSurvivesObjectiveEdits) {
+  // The FilterAssign ladder also flips objective coefficients (the (C3)
+  // slack penalties); warm re-solves must stay exact under SetObj edits.
+  Rng rng(515);
+  LpProblem p = RandomCoveringLp(rng, 80, 40, 0.15);
+  const SimplexSolver solver;
+  LpSolution prev = solver.Solve(p);
+  ASSERT_EQ(prev.status, SolveStatus::kOptimal);
+
+  for (int round = 0; round < 6; ++round) {
+    for (int j = 0; j < p.num_vars(); ++j) {
+      if (rng.Bernoulli(0.2)) {
+        p.SetObj(j, std::max(0.01, p.obj(j) + rng.Uniform(-0.5, 0.5)));
+      }
+    }
+    const LpSolution warm = solver.Solve(p, &prev.basis);
+    const LpSolution cold = solver.Solve(p);
+    ASSERT_EQ(warm.status, cold.status);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+    EXPECT_TRUE(warm.stats.warm_started);
+    // Pure objective edits leave the old optimum primal feasible, so the
+    // crashed basis should be feasible as-is (no restoration pivots).
+    EXPECT_TRUE(warm.stats.warm_feasible);
+    prev = warm;
+  }
+}
+
+TEST(WarmStartTest, WarmStartCheaperThanColdOnSmallPerturbations) {
+  Rng rng(77);
+  LpProblem p = RandomCoveringLp(rng, 200, 100, 0.08);
+  const SimplexSolver solver;
+  const LpSolution base = solver.Solve(p);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+
+  int warm_pivots = 0, cold_pivots = 0;
+  for (int round = 0; round < 5; ++round) {
+    const int i = static_cast<int>(rng.UniformInt(0, p.num_constraints() - 1));
+    p.SetRhs(i, p.rhs(i) * 1.02);
+    const LpSolution warm = solver.Solve(p, &base.basis);
+    const LpSolution cold = solver.Solve(p);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+    warm_pivots += warm.stats.pivots;
+    cold_pivots += cold.stats.pivots;
+  }
+  // The whole point of the warm start: tiny perturbations re-solve in far
+  // fewer pivots than a two-phase cold start.
+  EXPECT_LT(warm_pivots, cold_pivots);
+}
+
+TEST(WarmStartTest, IncompatibleHintFallsBackToColdStart) {
+  Rng rng(31337);
+  const LpProblem p = RandomCoveringLp(rng, 40, 20, 0.2);
+  Basis bogus;
+  bogus.structural.assign(7, VarStatus::kAtLower);  // wrong dimensions
+  bogus.logical.assign(3, VarStatus::kBasic);
+  const LpSolution sol = SimplexSolver().Solve(p, &bogus);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(sol.stats.warm_started);
+  const LpSolution ref = SimplexSolver().Solve(p);
+  EXPECT_NEAR(sol.objective, ref.objective, kTol);
+}
+
+TEST(WarmStartTest, AdversarialHintStillReachesOptimum) {
+  // A dimension-compatible but terrible hint (everything at lower bound,
+  // all logicals basic) must never change the answer — at worst the solver
+  // restores feasibility or falls back to a cold start internally.
+  Rng rng(902);
+  const LpProblem p = RandomCoveringLp(rng, 60, 30, 0.15);
+  Basis hint;
+  hint.structural.assign(p.num_vars(), VarStatus::kAtLower);
+  hint.logical.assign(p.num_constraints(), VarStatus::kBasic);
+  const LpSolution sol = SimplexSolver().Solve(p, &hint);
+  const LpSolution ref = SimplexSolver().Solve(p);
+  ASSERT_EQ(sol.status, ref.status);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, ref.objective, kTol);
+  ExpectFeasible(p, sol.x);
+}
+
+TEST(WarmStartTest, HintOnInfeasibleProblemStillClassifiesInfeasible) {
+  // Warm starts are an accelerator, never an oracle: infeasibility must
+  // still be detected when the perturbation kills the feasible region.
+  LpProblem p;
+  int x = p.AddVariable(1, 0, 10);
+  int r1 = p.AddConstraint(Sense::kGreaterEqual, 2);
+  p.AddEntry(r1, x, 1);
+  int r2 = p.AddConstraint(Sense::kLessEqual, 5);
+  p.AddEntry(r2, x, 1);
+  const SimplexSolver solver;
+  const LpSolution first = solver.Solve(p);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  p.SetRhs(r1, 20);  // now x >= 20 contradicts x <= 5 and x <= 10
+  const LpSolution warm = solver.Solve(p, &first.basis);
+  EXPECT_EQ(warm.status, SolveStatus::kInfeasible);
+}
+
+// End-to-end shape of the ladder: rhs tightening (β escalation analogue)
+// chained across three rungs, each warm-started from the previous basis.
+TEST(WarmStartTest, ChainedEscalationRungsStayExact) {
+  Rng rng(660);
+  LpProblem p = RandomCoveringLp(rng, 120, 60, 0.1);
+  const SimplexSolver solver;
+  LpSolution prev = solver.Solve(p);
+  ASSERT_EQ(prev.status, SolveStatus::kOptimal);
+  for (double scale : {1.05, 1.12, 1.25}) {
+    for (int i = 0; i < p.num_constraints(); ++i) p.SetRhs(i, p.rhs(i) * scale);
+    const LpSolution warm = solver.Solve(p, &prev.basis);
+    const LpSolution cold = solver.Solve(p);
+    ASSERT_EQ(warm.status, cold.status);
+    if (cold.status != SolveStatus::kOptimal) break;
+    EXPECT_NEAR(warm.objective, cold.objective, kTol);
+    prev = warm;
+  }
+}
+
+}  // namespace
+}  // namespace slp::lp

@@ -489,14 +489,21 @@ TEST_P(SimplexRandomTest, MatchesBruteForce) {
     }
   }
   const ReferenceResult ref = BruteForceLp(p);
-  const LpSolution sol = SimplexSolver().Solve(p);
-  if (ref.feasible) {
-    ASSERT_EQ(sol.status, SolveStatus::kOptimal)
-        << "reference found objective " << ref.objective;
-    EXPECT_NEAR(sol.objective, ref.objective, 1e-5);
-    ExpectFeasible(p, sol.x);
-  } else {
-    EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  SimplexOptions dense_opts;
+  dense_opts.use_dense_engine = true;
+  // Both engines against the brute-force reference.
+  for (const SimplexOptions& opts : {SimplexOptions{}, dense_opts}) {
+    const LpSolution sol = SimplexSolver(opts).Solve(p);
+    if (ref.feasible) {
+      ASSERT_EQ(sol.status, SolveStatus::kOptimal)
+          << "reference found objective " << ref.objective
+          << " dense=" << opts.use_dense_engine;
+      EXPECT_NEAR(sol.objective, ref.objective, 1e-5);
+      ExpectFeasible(p, sol.x);
+    } else {
+      EXPECT_EQ(sol.status, SolveStatus::kInfeasible)
+          << "dense=" << opts.use_dense_engine;
+    }
   }
 }
 
