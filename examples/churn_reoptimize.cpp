@@ -33,7 +33,7 @@ int main() {
   std::deque<int> live;
   size_t next = 0;
   for (int i = 0; i < 2000; ++i) {
-    live.push_back(dyn.Add(w.subscribers[next++]));
+    live.push_back(dyn.Add(w.subscribers[next++]).value());
   }
 
   std::printf("%-8s %8s %14s %14s %10s\n", "epoch", "live", "bandwidth",
@@ -50,7 +50,8 @@ int main() {
     for (int c = 0; c < kChurnPerEpoch; ++c) {
       dyn.Remove(live.front());
       live.pop_front();
-      live.push_back(dyn.Add(w.subscribers[next++ % w.subscribers.size()]));
+      live.push_back(
+          dyn.Add(w.subscribers[next++ % w.subscribers.size()]).value());
     }
   }
 

@@ -1,0 +1,66 @@
+// Deadline — a cheap copyable time-budget token for cancellable work.
+//
+// Post-failure repair and reoptimization must run under a hard time budget:
+// a recovering deployment cannot afford an open-ended SLP solve while
+// subscribers sit orphaned. A Deadline is captured at the start of such an
+// operation and threaded through the layers that can spend unbounded time
+// (FilterAssign's LP ladder, the SLP recursion, RepairEngine's ladder);
+// each checks `expired()` at its natural retry boundaries and degrades to
+// its cheap deterministic path instead of aborting.
+//
+// Contract (see DESIGN.md §9):
+//  * checking a Deadline never consumes randomness or mutates shared state,
+//    so a run under a never-expiring Deadline is bit-identical to a run
+//    without one;
+//  * expiry is a degradation signal, not an error: the holder must still
+//    return a feasible (possibly lower-quality) result and flag the
+//    truncation (budget_exhausted-style), never fail or crash;
+//  * Deadlines are checked between units of work, so overrun is bounded by
+//    the largest unchecked unit (one LP solve, one orphan placement).
+
+#ifndef SLP_COMMON_DEADLINE_H_
+#define SLP_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace slp {
+
+class Deadline {
+ public:
+  // Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `seconds` from now (<= 0 means already expired).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline AfterMillis(int64_t ms) { return After(ms * 1e-3); }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  // Seconds left; +inf for an infinite deadline, 0 once expired.
+  double remaining_seconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    const double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0 ? s : 0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace slp
+
+#endif  // SLP_COMMON_DEADLINE_H_

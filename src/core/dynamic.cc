@@ -1,14 +1,48 @@
 #include "src/core/dynamic.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
+#include "src/core/greedy.h"
 #include "src/geometry/filter.h"
 #include "src/geometry/volume_memo.h"
 
 namespace slp::core {
+
+namespace {
+
+// Deterministically covers `rects` with at most `alpha` rectangles by
+// repeatedly merging the pair whose enclosure wastes the least volume.
+// Used when a recovered interior broker rebuilds its filter from its live
+// children; deterministic on purpose (recovery takes no Rng).
+std::vector<geo::Rectangle> GreedyMergeToAlpha(
+    std::vector<geo::Rectangle> rects, int alpha) {
+  if (alpha < 1) alpha = 1;
+  while (static_cast<int>(rects.size()) > alpha) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    for (size_t i = 0; i < rects.size(); ++i) {
+      for (size_t j = i + 1; j < rects.size(); ++j) {
+        const double waste = rects[i].EnclosureWith(rects[j]).Volume() -
+                             rects[i].Volume() - rects[j].Volume();
+        if (waste < best) {
+          best = waste;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    rects[bi].Enclose(rects[bj]);
+    rects.erase(rects.begin() + bj);
+  }
+  return rects;
+}
+
+}  // namespace
 
 DynamicAssigner::DynamicAssigner(net::BrokerTree tree, SaConfig config,
                                  int expected_population)
@@ -24,53 +58,76 @@ DynamicAssigner::DynamicAssigner(net::BrokerTree tree, SaConfig config,
     leaf_index_[leaves[i]] = static_cast<int>(i);
   }
   filters_.resize(tree_.num_nodes());
-  paths_.resize(tree_.num_nodes());
-  for (int leaf : leaves) {
-    auto path = tree_.PathFromRoot(leaf);
+  RebuildLivePaths();
+}
+
+void DynamicAssigner::RebuildLivePaths() {
+  paths_.assign(tree_.num_nodes(), {});
+  for (int leaf : tree_.live_leaf_brokers()) {
+    auto path = tree_.LivePathFromRoot(leaf);
     paths_[leaf].assign(path.begin() + 1, path.end());
   }
 }
 
-double DynamicAssigner::Cap(int leaf_idx, double lbf) const {
-  // Equal capacity fractions; caps scale with the expected population.
-  (void)leaf_idx;  // per-leaf fractions are uniform in the dynamic setting
-  return lbf * expected_population_ /
-         static_cast<double>(loads_.size());
+double DynamicAssigner::LoadCap(double lbf) const {
+  // Equal capacity fractions over *live* leaves; caps scale with the
+  // expected population. Losing brokers raises the survivors' caps — the
+  // remaining fleet absorbs the load.
+  const size_t live = tree_.live_leaf_brokers().size();
+  if (live == 0) return 0;
+  return lbf * expected_population_ / static_cast<double>(live);
 }
 
-int DynamicAssigner::PlaceOnline(const wl::Subscriber& s) {
-  const double bound =
-      (1.0 + config_.max_delay) * tree_.ShortestLatency(s.location);
-  auto latency_ok = [&](int leaf) {
-    return tree_.LatencyVia(leaf, s.location) <= bound + 1e-12;
-  };
-  auto incorporation_cost = [&](int leaf) {
-    double cost = 0;
-    for (int v : paths_[leaf]) {
-      const auto& rects = filters_[v];
-      double best = std::numeric_limits<double>::infinity();
-      for (const auto& r : rects) {
-        best = std::min(best, r.EnlargementTo(s.subscription));
-      }
-      if (static_cast<int>(rects.size()) < config_.alpha) {
-        best = std::min(best, s.subscription.Volume());
-      }
-      cost += best;
-    }
-    return cost;
-  };
+int DynamicAssigner::load_of(int leaf_node) const {
+  SLP_CHECK(leaf_index_[leaf_node] >= 0);
+  return loads_[leaf_index_[leaf_node]];
+}
 
+double DynamicAssigner::LatencyAt(const wl::Subscriber& s, int leaf) const {
+  return tree_.LiveLatencyVia(leaf, s.location);
+}
+
+double DynamicAssigner::LatencyBound(const wl::Subscriber& s) const {
+  // The promise is relative to the *designed* network (static Δ): failures
+  // must never silently relax a subscriber's SLA — serving above this bound
+  // is a quantified degradation, not a new normal.
+  return (1.0 + config_.max_delay) * tree_.ShortestLatency(s.location);
+}
+
+double DynamicAssigner::IncorporationCost(const wl::Subscriber& s,
+                                          int leaf) const {
+  double cost = 0;
+  for (int v : paths_[leaf]) {
+    const auto& rects = filters_[v];
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& r : rects) {
+      best = std::min(best, r.EnlargementTo(s.subscription));
+    }
+    if (static_cast<int>(rects.size()) < config_.alpha) {
+      best = std::min(best, s.subscription.Volume());
+    }
+    cost += best;
+  }
+  return cost;
+}
+
+Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
+  const auto& live_leaves = tree_.live_leaf_brokers();
+  if (live_leaves.empty()) {
+    return Status::Infeasible("no live leaf broker");
+  }
+  const double bound = LatencyBound(s);
   for (double lbf : {config_.beta, config_.beta_max,
                      std::numeric_limits<double>::infinity()}) {
     int best = -1;
     double best_cost = std::numeric_limits<double>::infinity();
-    for (int leaf : tree_.leaf_brokers()) {
-      if (!latency_ok(leaf)) continue;
+    for (int leaf : live_leaves) {
+      if (LatencyAt(s, leaf) > bound + 1e-12) continue;
       const int idx = leaf_index_[leaf];
-      if (std::isfinite(lbf) && loads_[idx] + 1 > Cap(idx, lbf) + 1e-9) {
+      if (std::isfinite(lbf) && loads_[idx] + 1 > LoadCap(lbf) + 1e-9) {
         continue;
       }
-      const double cost = incorporation_cost(leaf);
+      const double cost = IncorporationCost(s, leaf);
       if (cost < best_cost) {
         best_cost = cost;
         best = leaf;
@@ -78,42 +135,82 @@ int DynamicAssigner::PlaceOnline(const wl::Subscriber& s) {
     }
     if (best >= 0) return best;
   }
-  SLP_CHECK(false);  // Δ-achieving leaf is always latency-feasible
-  return -1;
-}
-
-int DynamicAssigner::Add(const wl::Subscriber& subscriber) {
-  const int leaf = PlaceOnline(subscriber);
-  // Grow filters along the path, R-tree style.
-  for (int v : paths_[leaf]) {
-    auto& rects = filters_[v];
-    double best = std::numeric_limits<double>::infinity();
-    int arg = -1;
-    for (size_t i = 0; i < rects.size(); ++i) {
-      const double c = rects[i].EnlargementTo(subscriber.subscription);
-      if (c < best) {
-        best = c;
-        arg = static_cast<int>(i);
-      }
-    }
-    if (static_cast<int>(rects.size()) < config_.alpha &&
-        subscriber.subscription.Volume() < best) {
-      rects.push_back(subscriber.subscription);
-    } else {
-      SLP_CHECK(arg >= 0);
-      rects[arg].Enclose(subscriber.subscription);
+  // Failures took every leaf that met the static promise: admit at the
+  // smallest latency excess (ties by enlargement cost); Add records the
+  // excess as a degradation.
+  int best = -1;
+  double best_excess = std::numeric_limits<double>::infinity();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int leaf : live_leaves) {
+    const double excess = LatencyAt(s, leaf) - bound;
+    const double cost = IncorporationCost(s, leaf);
+    if (excess < best_excess - 1e-12 ||
+        (excess < best_excess + 1e-12 && cost < best_cost)) {
+      best_excess = excess;
+      best_cost = cost;
+      best = leaf;
     }
   }
+  return best;
+}
+
+Status DynamicAssigner::IncorporateRect(int node, const geo::Rectangle& r) {
+  auto& rects = filters_[node];
+  double best = std::numeric_limits<double>::infinity();
+  int arg = -1;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const double c = rects[i].EnlargementTo(r);
+    if (c < best) {
+      best = c;
+      arg = static_cast<int>(i);
+    }
+  }
+  if (static_cast<int>(rects.size()) < config_.alpha && r.Volume() < best) {
+    rects.push_back(r);
+    return Status::OK();
+  }
+  if (arg < 0) {
+    // Only reachable with a non-positive α (no rectangle may exist, none
+    // does): a config error reported as a status, not an abort.
+    return Status::Infeasible("filter complexity alpha must be >= 1");
+  }
+  rects[arg].Enclose(r);
+  return Status::OK();
+}
+
+Status DynamicAssigner::GrowPathFilters(int leaf, const geo::Rectangle& sub) {
+  for (int v : paths_[leaf]) {
+    SLP_RETURN_IF_ERROR(IncorporateRect(v, sub));
+  }
+  return Status::OK();
+}
+
+Result<int> DynamicAssigner::Add(const wl::Subscriber& subscriber) {
+  Result<int> placed = PlaceOnline(subscriber);
+  if (!placed.ok()) return placed.status();
+  if (config_.alpha < 1) {
+    return Status::Infeasible("filter complexity alpha must be >= 1");
+  }
+  const int leaf = placed.value();
+  SLP_RETURN_IF_ERROR(GrowPathFilters(leaf, subscriber.subscription));
   ++loads_[leaf_index_[leaf]];
-  ++live_count_;
+  ++population_;
 
   Slot slot;
   slot.subscriber = subscriber;
   slot.leaf = leaf;
-  slot.live = true;
+  slot.occupied = true;
+  const double excess = LatencyAt(subscriber, leaf) - LatencyBound(subscriber);
+  if (excess > 1e-12) {
+    slot.state = SubscriberState::kDegraded;
+    slot.violation.latency = excess;
+  } else {
+    slot.state = SubscriberState::kLive;
+    ++live_count_;
+  }
   // Reuse a free slot if available.
   for (size_t h = 0; h < slots_.size(); ++h) {
-    if (!slots_[h].live) {
+    if (!slots_[h].occupied) {
       slots_[h] = std::move(slot);
       return static_cast<int>(h);
     }
@@ -122,22 +219,162 @@ int DynamicAssigner::Add(const wl::Subscriber& subscriber) {
   return static_cast<int>(slots_.size()) - 1;
 }
 
+void DynamicAssigner::ReleasePlacement(Slot* slot) {
+  if (slot->leaf >= 0) {
+    --loads_[leaf_index_[slot->leaf]];
+    slot->leaf = -1;
+  }
+}
+
+void DynamicAssigner::DropOrphan(int handle) {
+  orphans_.erase(std::remove(orphans_.begin(), orphans_.end(), handle),
+                 orphans_.end());
+}
+
 void DynamicAssigner::Remove(int handle) {
   SLP_CHECK(handle >= 0 && handle < static_cast<int>(slots_.size()));
   Slot& slot = slots_[handle];
-  SLP_CHECK(slot.live);
-  slot.live = false;
-  --loads_[leaf_index_[slot.leaf]];
-  --live_count_;
+  SLP_CHECK(slot.occupied);
+  ReleasePlacement(&slot);
+  if (slot.state == SubscriberState::kLive) --live_count_;
+  if (slot.state == SubscriberState::kOrphaned) DropOrphan(handle);
+  --population_;
+  slot.occupied = false;
+  slot.state = SubscriberState::kLive;
+  slot.violation = {};
   // Filters intentionally stay: shrinking online could uncover remaining
   // subscribers. Staleness is reclaimed by Reoptimize().
 }
 
+Status DynamicAssigner::FailBroker(int node) {
+  SLP_RETURN_IF_ERROR(tree_.FailBroker(node));
+  RebuildLivePaths();
+  if (leaf_index_[node] < 0) return Status::OK();  // interior: splice only
+  // Leaf failure: its subscribers lose their broker.
+  for (size_t h = 0; h < slots_.size(); ++h) {
+    Slot& slot = slots_[h];
+    if (!slot.occupied || slot.leaf != node) continue;
+    ReleasePlacement(&slot);
+    if (slot.state == SubscriberState::kLive) --live_count_;
+    slot.state = SubscriberState::kOrphaned;
+    slot.violation = {};
+    orphans_.push_back(static_cast<int>(h));
+  }
+  return Status::OK();
+}
+
+Status DynamicAssigner::RecoverBroker(int node) {
+  SLP_RETURN_IF_ERROR(tree_.RecoverBroker(node));
+  RebuildLivePaths();
+  if (leaf_index_[node] >= 0) {
+    // A recovered leaf comes back empty: its subscribers were re-placed
+    // (or parked) during the outage, and a stale filter could violate
+    // nesting if ancestors were reoptimized meanwhile.
+    filters_[node].clear();
+    return Status::OK();
+  }
+  // Recovered interior broker: while it was down its (spliced) children
+  // kept growing through its ancestors, so its own filter is stale.
+  // Rebuild it from the live children and propagate the growth upward so
+  // f_child ⊆ f_node ⊆ f_ancestors holds again.
+  std::vector<geo::Rectangle> child_rects;
+  for (int c : tree_.live_children(node)) {
+    child_rects.insert(child_rects.end(), filters_[c].begin(),
+                       filters_[c].end());
+  }
+  filters_[node] =
+      GreedyMergeToAlpha(std::move(child_rects), config_.alpha);
+  for (int a = tree_.live_parent(node); a != net::BrokerTree::kPublisher;
+       a = tree_.live_parent(a)) {
+    for (const auto& r : filters_[node]) {
+      SLP_RETURN_IF_ERROR(IncorporateRect(a, r));
+    }
+  }
+  return Status::OK();
+}
+
+bool DynamicAssigner::is_occupied(int handle) const {
+  return handle >= 0 && handle < static_cast<int>(slots_.size()) &&
+         slots_[handle].occupied;
+}
+
+SubscriberState DynamicAssigner::state(int handle) const {
+  SLP_CHECK(is_occupied(handle));
+  return slots_[handle].state;
+}
+
+const wl::Subscriber& DynamicAssigner::subscriber(int handle) const {
+  SLP_CHECK(is_occupied(handle));
+  return slots_[handle].subscriber;
+}
+
+int DynamicAssigner::leaf_of(int handle) const {
+  SLP_CHECK(is_occupied(handle));
+  return slots_[handle].leaf;
+}
+
+const DegradedViolation& DynamicAssigner::violation(int handle) const {
+  SLP_CHECK(is_occupied(handle));
+  return slots_[handle].violation;
+}
+
+std::vector<int> DynamicAssigner::degraded_handles() const {
+  std::vector<int> out;
+  for (size_t h = 0; h < slots_.size(); ++h) {
+    if (slots_[h].occupied && slots_[h].state == SubscriberState::kDegraded) {
+      out.push_back(static_cast<int>(h));
+    }
+  }
+  return out;
+}
+
+Status DynamicAssigner::PlaceAt(int handle, int leaf,
+                                SubscriberState new_state,
+                                DegradedViolation violation) {
+  if (!is_occupied(handle)) {
+    return Status::InvalidArgument("PlaceAt: vacant handle");
+  }
+  if (leaf < 0 || leaf >= tree_.num_nodes() || leaf_index_[leaf] < 0 ||
+      tree_.is_failed(leaf)) {
+    return Status::InvalidArgument("PlaceAt: not a live leaf");
+  }
+  if (new_state == SubscriberState::kOrphaned) {
+    return Status::InvalidArgument("PlaceAt: cannot place into kOrphaned");
+  }
+  Slot& slot = slots_[handle];
+  SLP_RETURN_IF_ERROR(GrowPathFilters(leaf, slot.subscriber.subscription));
+  ReleasePlacement(&slot);
+  slot.leaf = leaf;
+  ++loads_[leaf_index_[leaf]];
+  if (slot.state == SubscriberState::kLive) --live_count_;
+  if (new_state == SubscriberState::kLive) ++live_count_;
+  slot.state = new_state;
+  slot.violation =
+      new_state == SubscriberState::kDegraded ? violation : DegradedViolation{};
+  DropOrphan(handle);
+  return Status::OK();
+}
+
+Status DynamicAssigner::Park(int handle, DegradedViolation violation) {
+  if (!is_occupied(handle)) {
+    return Status::InvalidArgument("Park: vacant handle");
+  }
+  Slot& slot = slots_[handle];
+  ReleasePlacement(&slot);
+  if (slot.state == SubscriberState::kLive) --live_count_;
+  slot.state = SubscriberState::kDegraded;
+  violation.unplaced = true;
+  slot.violation = violation;
+  DropOrphan(handle);
+  return Status::OK();
+}
+
 double DynamicAssigner::CurrentBandwidth() const {
   // Churn touches few paths between bandwidth probes; unchanged broker
-  // filters hit the volume memo.
+  // filters hit the volume memo. Failed brokers carry no traffic.
   double total = 0;
   for (int v = 1; v < tree_.num_nodes(); ++v) {
+    if (tree_.is_failed(v)) continue;
     total += geo::VolumeMemo::Global().UnionVolume(geo::Filter(filters_[v]));
   }
   return total;
@@ -157,27 +394,90 @@ double DynamicAssigner::TightBandwidth(Rng& rng) const {
   return total;
 }
 
-void DynamicAssigner::Reoptimize(
+ReoptimizeReport DynamicAssigner::Reoptimize(
     const std::function<SaSolution(const SaProblem&, Rng&)>& algorithm,
     Rng& rng) {
-  if (live_count_ == 0) {
+  ReoptimizeReport report;
+  if (population_ == 0) {
     for (auto& f : filters_) f.clear();
-    return;
+    return report;
   }
-  auto [problem, solution] = Snapshot();
-  const SaSolution fresh = algorithm(problem, rng);
+  Result<LiveSnapshot> snap = SnapshotLive();
+  if (!snap.ok()) return report;  // no live leaf: nothing to install onto
+  const SaSolution fresh = algorithm(snap.value().problem, rng);
+  report.algorithm = fresh.algorithm;
+  InstallLive(snap.value(), fresh);
+  return report;
+}
 
-  // Install the fresh state back into the live slots.
-  std::fill(loads_.begin(), loads_.end(), 0);
-  int row = 0;
-  for (auto& slot : slots_) {
-    if (!slot.live) continue;
-    slot.leaf = fresh.assignment[row++];
-    ++loads_[leaf_index_[slot.leaf]];
+ReoptimizeReport DynamicAssigner::ReoptimizeWithDeadline(
+    const SlpOptions& options, Rng& rng, const Deadline& deadline) {
+  ReoptimizeReport report;
+  if (population_ == 0) {
+    for (auto& f : filters_) f.clear();
+    return report;
   }
-  for (int v = 0; v < tree_.num_nodes(); ++v) {
-    filters_[v].assign(fresh.filters[v].rects().begin(),
-                       fresh.filters[v].rects().end());
+  Result<LiveSnapshot> snap = SnapshotLive();
+  if (!snap.ok()) return report;
+  const SaProblem& problem = snap.value().problem;
+
+  SaSolution fresh;
+  if (deadline.expired()) {
+    // No budget at all: go straight to the cheap offline greedy.
+    fresh = RunGrStar(problem, rng);
+    report.used_fallback = true;
+    report.budget_exhausted = true;
+  } else {
+    SlpOptions bounded = options;
+    bounded.slp1.filter_assign.deadline = deadline;
+    SlpStats stats;
+    Result<SaSolution> slp = RunSlp(problem, bounded, rng, &stats);
+    if (slp.ok()) {
+      fresh = std::move(slp).value();
+      report.budget_exhausted =
+          stats.any_budget_exhausted || deadline.expired();
+    } else {
+      fresh = RunGrStar(problem, rng);
+      report.used_fallback = true;
+    }
+  }
+  report.algorithm = fresh.algorithm;
+  InstallLive(snap.value(), fresh);
+  return report;
+}
+
+void DynamicAssigner::InstallLive(const LiveSnapshot& snap,
+                                  const SaSolution& fresh) {
+  const SaProblem& problem = snap.problem;
+  std::fill(loads_.begin(), loads_.end(), 0);
+  live_count_ = 0;
+  orphans_.clear();
+  for (size_t row = 0; row < snap.row_handle.size(); ++row) {
+    Slot& slot = slots_[snap.row_handle[row]];
+    const int live_leaf = fresh.assignment[row];
+    slot.leaf = snap.to_static[live_leaf];
+    ++loads_[leaf_index_[slot.leaf]];
+    // A fresh solve may still be forced outside the static latency promise
+    // (failures, or greedy best-effort under load pressure): quantify
+    // instead of pretending. With no failures this equals the snapshot
+    // problem's own bound check.
+    const double excess =
+        LatencyAt(slot.subscriber, slot.leaf) - LatencyBound(slot.subscriber);
+    if (excess > 1e-12) {
+      slot.state = SubscriberState::kDegraded;
+      slot.violation = {};
+      slot.violation.latency = excess;
+    } else {
+      slot.state = SubscriberState::kLive;
+      slot.violation = {};
+      ++live_count_;
+    }
+  }
+  for (auto& f : filters_) f.clear();
+  for (int lv = 0; lv < problem.tree().num_nodes(); ++lv) {
+    const int v = snap.to_static[lv];
+    filters_[v].assign(fresh.filters[lv].rects().begin(),
+                       fresh.filters[lv].rects().end());
   }
 }
 
@@ -187,11 +487,11 @@ std::pair<SaProblem, SaSolution> DynamicAssigner::Snapshot() const {
   std::vector<int> assignment;
   subs.reserve(live_count_);
   for (const Slot& slot : slots_) {
-    if (!slot.live) continue;
+    if (!slot.occupied || slot.state != SubscriberState::kLive) continue;
     subs.push_back(slot.subscriber);
     assignment.push_back(slot.leaf);
   }
-  // Copy the tree via re-adding nodes (BrokerTree is append-only).
+  // Copy the static tree via re-adding nodes (BrokerTree is append-only).
   net::BrokerTree tree_copy(tree_.location(net::BrokerTree::kPublisher));
   for (int v = 1; v < tree_.num_nodes(); ++v) {
     tree_copy.AddBroker(tree_.location(v), tree_.parent(v));
@@ -207,6 +507,51 @@ std::pair<SaProblem, SaSolution> DynamicAssigner::Snapshot() const {
     solution.filters.emplace_back(filters_[v]);
   }
   return {std::move(problem), std::move(solution)};
+}
+
+Result<DynamicAssigner::LiveSnapshot> DynamicAssigner::SnapshotLive() const {
+  if (population_ == 0) {
+    return Status::Infeasible("no tracked subscribers");
+  }
+  if (tree_.live_leaf_brokers().empty()) {
+    return Status::Infeasible("no live leaf broker");
+  }
+  // Keep exactly the live nodes on a live path to some live leaf; a live
+  // interior broker whose leaves all failed would otherwise become a leaf
+  // of the compacted tree and attract subscribers it cannot serve.
+  std::vector<bool> keep(tree_.num_nodes(), false);
+  for (int leaf : tree_.live_leaf_brokers()) {
+    for (int v = leaf; v != net::BrokerTree::kPublisher;
+         v = tree_.live_parent(v)) {
+      if (keep[v]) break;
+      keep[v] = true;
+    }
+  }
+  std::vector<int> to_live(tree_.num_nodes(), -1);
+  std::vector<int> to_static;
+  net::BrokerTree live_tree(tree_.location(net::BrokerTree::kPublisher));
+  to_static.push_back(net::BrokerTree::kPublisher);
+  to_live[net::BrokerTree::kPublisher] = net::BrokerTree::kPublisher;
+  for (int v = 1; v < tree_.num_nodes(); ++v) {
+    if (!keep[v]) continue;
+    const int lp = to_live[tree_.live_parent(v)];
+    to_live[v] = live_tree.AddBroker(tree_.location(v), lp);
+    to_static.push_back(v);
+  }
+  live_tree.Finalize();
+
+  std::vector<wl::Subscriber> subs;
+  std::vector<int> row_handle;
+  subs.reserve(population_);
+  for (size_t h = 0; h < slots_.size(); ++h) {
+    if (!slots_[h].occupied) continue;
+    subs.push_back(slots_[h].subscriber);
+    row_handle.push_back(static_cast<int>(h));
+  }
+  LiveSnapshot snap{
+      SaProblem(std::move(live_tree), std::move(subs), config_),
+      std::move(row_handle), std::move(to_static), std::move(to_live)};
+  return snap;
 }
 
 }  // namespace slp::core

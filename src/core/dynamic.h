@@ -13,21 +13,62 @@
 //    subscription needs) is tracked, and Reoptimize() rebuilds the
 //    deployment offline — the paper's "initial subscriber assignment and
 //    periodical re-optimization" use case for SLP/Gr*.
+//
+// Beyond the paper, the assigner models crash-stop broker failures
+// (DESIGN.md §9): FailBroker splices an interior broker out of the routing
+// tree (safe without filter recomputation, by the nesting condition) or
+// orphans a leaf's subscribers; RecoverBroker brings a broker back empty.
+// Orphans are re-placed by core::RepairEngine (src/core/repair.h); a
+// subscriber the ladder cannot place within constraints is parked
+// `degraded` with its violation quantified — no failure path aborts.
 
 #ifndef SLP_CORE_DYNAMIC_H_
 #define SLP_CORE_DYNAMIC_H_
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/core/assignment.h"
 #include "src/core/problem.h"
+#include "src/core/slp.h"
 #include "src/network/broker_tree.h"
 #include "src/workload/workload.h"
 
 namespace slp::core {
+
+// Service state of a tracked subscriber.
+enum class SubscriberState {
+  kLive,      // placed, all constraints met
+  kOrphaned,  // assigned broker failed; awaiting repair
+  kDegraded,  // placed (or parked) outside constraints; violation quantified
+};
+
+// How far a degraded subscriber is outside its constraints.
+struct DegradedViolation {
+  // Absolute latency excess over the subscriber's bound (0 if met).
+  double latency = 0;
+  // Subscribers above the β_max cap at the chosen leaf (0 if within).
+  double load = 0;
+  // True when no live leaf existed at all: the subscriber is parked
+  // unassigned (leaf -1) and receives no events until repaired.
+  bool unplaced = false;
+};
+
+// Result of a deadline-bounded reoptimization.
+struct ReoptimizeReport {
+  // True when the SLP solve was skipped or failed and Gr* produced the
+  // installed deployment.
+  bool used_fallback = false;
+  // True when the deadline expired somewhere inside (the installed result
+  // is feasible but truncated — the budget_exhausted contract).
+  bool budget_exhausted = false;
+  std::string algorithm;
+};
 
 class DynamicAssigner {
  public:
@@ -36,47 +77,158 @@ class DynamicAssigner {
   DynamicAssigner(net::BrokerTree tree, SaConfig config,
                   int expected_population);
 
-  // Adds a subscriber and assigns it online. Returns a handle for removal.
-  int Add(const wl::Subscriber& subscriber);
+  // Adds a subscriber and assigns it online. Returns a handle for removal,
+  // or kInfeasible when no live leaf broker exists at all (every leaf
+  // failed) — the assigner state is unchanged in that case. If live leaves
+  // exist but none meets the subscriber's static latency promise (failures
+  // took the close ones), the subscriber is admitted kDegraded with the
+  // latency excess quantified.
+  Result<int> Add(const wl::Subscriber& subscriber);
 
-  // Removes a previously added subscriber. Filters stay as they are
-  // (stale but safe).
+  // Removes a previously added subscriber (any state). Filters stay as
+  // they are (stale but safe).
   void Remove(int handle);
 
-  int live_count() const { return live_count_; }
+  // ---- Crash-stop failure events ----
 
-  // Leaf loads by leaf index.
+  // Fails a broker. Interior broker: its children splice up to their
+  // nearest live ancestor; assignments are untouched (nesting makes the
+  // splice filter-safe). Leaf broker: its subscribers become kOrphaned
+  // (load released, leaf cleared) until a repair places them elsewhere.
+  Status FailBroker(int node);
+
+  // Recovers a failed broker, empty. A recovered leaf's filter is cleared
+  // (its subscribers were re-placed during the outage); a recovered
+  // interior broker's filter is rebuilt from its live children and the
+  // growth is propagated up so the nesting condition holds again.
+  Status RecoverBroker(int node);
+
+  // ---- Repair/inspection surface (used by core::RepairEngine) ----
+
+  const net::BrokerTree& tree() const { return tree_; }
+  const SaConfig& config() const { return config_; }
+
+  // Number of slots ever allocated; handles are in [0, slot_count()) and a
+  // vacant slot answers is_occupied() == false.
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  // Current filter rectangles of a broker node (empty for the publisher).
+  const std::vector<geo::Rectangle>& filter(int node) const {
+    return filters_[node];
+  }
+
+  bool is_occupied(int handle) const;
+  SubscriberState state(int handle) const;
+  const wl::Subscriber& subscriber(int handle) const;
+  // Assigned leaf node of a placed subscriber; -1 when parked/orphaned.
+  int leaf_of(int handle) const;
+  // Violation record of a kDegraded subscriber.
+  const DegradedViolation& violation(int handle) const;
+
+  // Handles currently orphaned (oldest first).
+  const std::vector<int>& orphans() const { return orphans_; }
+  std::vector<int> degraded_handles() const;
+
+  // Load cap per live leaf at load-balance factor `lbf`:
+  // lbf · expected_population / (number of live leaves).
+  double LoadCap(double lbf) const;
+  // Current load of a live leaf node.
+  int load_of(int leaf_node) const;
+  // Latency of serving `s` via `leaf` in the live overlay, and s's bound
+  // (1 + max_delay) · Δ_live.
+  double LatencyAt(const wl::Subscriber& s, int leaf) const;
+  double LatencyBound(const wl::Subscriber& s) const;
+  // Gr incorporation cost of adding s's subscription along the live path
+  // to `leaf`.
+  double IncorporationCost(const wl::Subscriber& s, int leaf) const;
+
+  // Places an orphaned/degraded/live subscriber at `leaf` (a live leaf):
+  // releases any previous placement, grows filters along the live path,
+  // updates loads, and sets the state/violation. kInvalidArgument if the
+  // handle is vacant or `leaf` is not a live leaf.
+  Status PlaceAt(int handle, int leaf, SubscriberState new_state,
+                 DegradedViolation violation = {});
+
+  // Parks a subscriber unassigned in the degraded state (no live leaf
+  // could take it). Releases any previous placement.
+  Status Park(int handle, DegradedViolation violation);
+
+  // Subscribers in state kLive.
+  int live_count() const { return live_count_; }
+  // All tracked subscribers (live + orphaned + degraded).
+  int population() const { return population_; }
+
+  // Leaf loads by (static) leaf index.
   const std::vector<int>& loads() const { return loads_; }
 
-  // Σ_i Vol(f_i) over all brokers with the current (possibly stale)
-  // filters.
+  // Σ_i Vol(f_i) over live brokers with the current (possibly stale)
+  // filters. Failed brokers carry no traffic and are excluded.
   double CurrentBandwidth() const;
 
   // Σ_i Vol(f'_i) if every filter were rebuilt tightly from the live
   // subscriptions (the reoptimization headroom). Uses ≤α MEB clustering.
   double TightBandwidth(Rng& rng) const;
 
-  // Rebuilds the deployment offline from the live subscribers using the
-  // supplied algorithm (e.g., RunGrStar, or an SLP1 adapter) and installs
-  // the fresh assignment and filters. Live handles remain valid.
-  void Reoptimize(
+  // Rebuilds the deployment offline from all tracked subscribers (orphans
+  // and degraded included — a global re-solve is their second chance)
+  // using the supplied algorithm and installs the fresh assignment and
+  // filters over the live topology. Live handles remain valid.
+  ReoptimizeReport Reoptimize(
       const std::function<SaSolution(const SaProblem&, Rng&)>& algorithm,
       Rng& rng);
 
-  // Materializes the current state as an (problem, solution) pair for
-  // metrics/validation. Only live subscribers are included.
+  // Deadline-bounded reoptimization: runs SLP with `deadline` threaded
+  // through FilterAssign (which degrades to its deterministic completion
+  // when the budget expires); an already-expired deadline, or an SLP
+  // failure, falls back to Gr*. Never aborts. With an infinite deadline
+  // and no failed brokers this is bit-identical to
+  // Reoptimize(RunSlp-adapter).
+  ReoptimizeReport ReoptimizeWithDeadline(const SlpOptions& options, Rng& rng,
+                                          const Deadline& deadline);
+
+  // Materializes the current state as a (problem, solution) pair for
+  // metrics/validation over the *static* tree. Only kLive subscribers are
+  // included (orphans have no placement; degraded ones violate the very
+  // constraints validators check).
   std::pair<SaProblem, SaSolution> Snapshot() const;
+
+  // Snapshot over the *live* overlay with compacted node ids (failed
+  // brokers dropped): the problem every tracked subscriber — live,
+  // orphaned, degraded — should be re-solved against. With no failures
+  // the id mapping is the identity.
+  struct LiveSnapshot {
+    SaProblem problem;
+    std::vector<int> row_handle;  // problem row -> assigner handle
+    std::vector<int> to_static;   // live node id -> static node id
+    std::vector<int> to_live;     // static node id -> live id (-1 = failed)
+  };
+  // kInfeasible when no subscriber is tracked or no live leaf exists.
+  Result<LiveSnapshot> SnapshotLive() const;
 
  private:
   struct Slot {
     wl::Subscriber subscriber;
-    int leaf = -1;  // assigned leaf node; -1 when the slot is free
-    bool live = false;
+    int leaf = -1;  // assigned leaf node; -1 when orphaned/parked/free
+    bool occupied = false;
+    SubscriberState state = SubscriberState::kLive;
+    DegradedViolation violation;
   };
 
-  double Cap(int leaf_idx, double lbf) const;
-  // Gr-style online placement. Returns the chosen leaf node.
-  int PlaceOnline(const wl::Subscriber& s);
+  // Gr-style online placement over live leaves. kInfeasible when no live
+  // leaf exists (state unchanged).
+  Result<int> PlaceOnline(const wl::Subscriber& s) const;
+  // Grows filters_[node] to incorporate `r` (R-tree least-enlargement,
+  // honoring α). kInfeasible only for a non-positive α.
+  Status IncorporateRect(int node, const geo::Rectangle& r);
+  // Grows filters along the live path to `leaf` for `sub`.
+  Status GrowPathFilters(int leaf, const geo::Rectangle& sub);
+  // Releases a slot's current placement (load + leaf), if any.
+  void ReleasePlacement(Slot* slot);
+  // Drops `handle` from orphans_ if present.
+  void DropOrphan(int handle);
+  // Recomputes paths_ from the live overlay after a fail/recover event.
+  void RebuildLivePaths();
+  // Installs a fresh solution from a live snapshot back into the slots.
+  void InstallLive(const LiveSnapshot& snap, const SaSolution& fresh);
 
   net::BrokerTree tree_;
   SaConfig config_;
@@ -84,10 +236,12 @@ class DynamicAssigner {
 
   std::vector<Slot> slots_;
   int live_count_ = 0;
-  std::vector<int> loads_;                       // by leaf index
+  int population_ = 0;
+  std::vector<int> orphans_;
+  std::vector<int> loads_;                       // by static leaf index
   std::vector<int> leaf_index_;                  // node id -> leaf index
   std::vector<std::vector<geo::Rectangle>> filters_;  // by node id
-  std::vector<std::vector<int>> paths_;          // leaf node -> path
+  std::vector<std::vector<int>> paths_;  // live leaf -> live path (sans P)
 };
 
 }  // namespace slp::core

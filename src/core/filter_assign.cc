@@ -76,7 +76,9 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
 
   std::vector<double> weights;
   auto budget_left = [&]() {
-    return options.max_lp_calls <= 0 || result.lp_calls < options.max_lp_calls;
+    return (options.max_lp_calls <= 0 ||
+            result.lp_calls < options.max_lp_calls) &&
+           !options.deadline.expired();
   };
 
   for (int g = options.initial_g;; g = std::min(2 * g, rows + 1)) {

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/core/candidates.h"
@@ -47,6 +48,13 @@ struct FilterAssignOptions {
   int validity_retries = 12;
   // Total LP budget; 0 = unlimited (paper-faithful).
   int max_lp_calls = 40;
+  // Hard wall-clock budget: once expired, no further LP is attempted and
+  // the best filters seen are completed deterministically, exactly like a
+  // spent max_lp_calls budget (budget_exhausted is set). Checking the
+  // deadline consumes no randomness, so a run under an infinite deadline
+  // is bit-identical to one without. Used by the post-failure repair path
+  // (DESIGN.md §9).
+  Deadline deadline;
   FilterGenOptions filter_gen;
   LpRelaxOptions lp;
 };
@@ -60,7 +68,8 @@ struct FilterAssignResult {
   int lp_calls = 0;
   int iterations = 0;
   int final_g = 0;
-  // True if the LP budget ran out and deterministic completion was used.
+  // True if the LP budget (max_lp_calls or the deadline) ran out and
+  // deterministic completion was used.
   bool budget_exhausted = false;
 };
 

@@ -1,0 +1,157 @@
+#include "src/core/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace slp::core {
+
+RepairEngine::RepairEngine(DynamicAssigner* assigner, RepairOptions options)
+    : dyn_(assigner), options_(options) {
+  SLP_CHECK(dyn_ != nullptr);
+}
+
+int RepairEngine::BestConstrainedLeaf(const wl::Subscriber& s,
+                                      double lbf) const {
+  const double bound = dyn_->LatencyBound(s);
+  const double cap = dyn_->LoadCap(lbf);
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int leaf : dyn_->tree().live_leaf_brokers()) {
+    if (dyn_->LatencyAt(s, leaf) > bound + 1e-12) continue;
+    if (dyn_->load_of(leaf) + 1 > cap + 1e-9) continue;
+    const double cost = dyn_->IncorporationCost(s, leaf);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = leaf;
+    }
+  }
+  return best;
+}
+
+SubscriberState RepairEngine::PlaceWithLadder(int handle,
+                                              RepairReport* report) {
+  const wl::Subscriber& s = dyn_->subscriber(handle);
+  const auto& live_leaves = dyn_->tree().live_leaf_brokers();
+
+  // Rungs 1–2: Gr within constraints, desired cap first.
+  for (double lbf : {dyn_->config().beta, dyn_->config().beta_max}) {
+    const int leaf = BestConstrainedLeaf(s, lbf);
+    if (leaf >= 0) {
+      SLP_CHECK(dyn_->PlaceAt(handle, leaf, SubscriberState::kLive).ok());
+      return SubscriberState::kLive;
+    }
+  }
+
+  if (live_leaves.empty()) {
+    // Park: nothing can host the subscriber until a broker recovers.
+    SLP_CHECK(dyn_->Park(handle, DegradedViolation{}).ok());
+    return SubscriberState::kDegraded;
+  }
+
+  const double bound = dyn_->LatencyBound(s);
+  const double cap_max = dyn_->LoadCap(dyn_->config().beta_max);
+
+  // Rung 3: latency-slack relaxation under the emergency cap — minimize
+  // the latency excess, break ties by incorporation cost.
+  {
+    int best = -1;
+    double best_excess = std::numeric_limits<double>::infinity();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int leaf : live_leaves) {
+      if (dyn_->load_of(leaf) + 1 > cap_max + 1e-9) continue;
+      const double excess = std::max(0.0, dyn_->LatencyAt(s, leaf) - bound);
+      const double cost = dyn_->IncorporationCost(s, leaf);
+      if (excess < best_excess - 1e-12 ||
+          (excess < best_excess + 1e-12 && cost < best_cost)) {
+        best_excess = excess;
+        best_cost = cost;
+        best = leaf;
+      }
+    }
+    if (best >= 0) {
+      DegradedViolation v;
+      v.latency = best_excess;
+      report->max_latency_violation =
+          std::max(report->max_latency_violation, v.latency);
+      SLP_CHECK(dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v).ok());
+      return SubscriberState::kDegraded;
+    }
+  }
+
+  // Rung 4: every live leaf is at β_max — overload the latency-best one
+  // and quantify both violations.
+  int best = -1;
+  double best_excess = std::numeric_limits<double>::infinity();
+  for (int leaf : live_leaves) {
+    const double excess = std::max(0.0, dyn_->LatencyAt(s, leaf) - bound);
+    if (excess < best_excess) {
+      best_excess = excess;
+      best = leaf;
+    }
+  }
+  DegradedViolation v;
+  v.latency = best_excess;
+  v.load = dyn_->load_of(best) + 1 - cap_max;
+  report->max_latency_violation =
+      std::max(report->max_latency_violation, v.latency);
+  report->max_load_violation = std::max(report->max_load_violation, v.load);
+  SLP_CHECK(dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v).ok());
+  return SubscriberState::kDegraded;
+}
+
+RepairReport RepairEngine::Repair(const Deadline& deadline, int64_t now) {
+  RepairReport report;
+  // Snapshot the orphan list: placements mutate it.
+  const std::vector<int> orphans = dyn_->orphans();
+  report.orphans_seen = static_cast<int>(orphans.size());
+  for (int handle : orphans) {
+    if (deadline.expired()) {
+      ++report.still_orphaned;
+      report.deadline_expired = true;
+      continue;
+    }
+    const SubscriberState st = PlaceWithLadder(handle, &report);
+    if (st == SubscriberState::kLive) {
+      ++report.repaired;
+      backoff_.erase(handle);
+    } else {
+      ++report.degraded;
+      backoff_[handle] = Backoff{0, now + options_.backoff_base};
+    }
+  }
+
+  // Degraded retries (rungs 1–2 only) under per-subscriber backoff.
+  for (int handle : dyn_->degraded_handles()) {
+    if (deadline.expired()) {
+      report.deadline_expired = true;
+      break;
+    }
+    auto [it, inserted] = backoff_.emplace(
+        handle, Backoff{0, now + options_.backoff_base});
+    if (inserted || now < it->second.next) continue;
+    ++report.retried;
+    const wl::Subscriber& s = dyn_->subscriber(handle);
+    int leaf = -1;
+    for (double lbf : {dyn_->config().beta, dyn_->config().beta_max}) {
+      leaf = BestConstrainedLeaf(s, lbf);
+      if (leaf >= 0) break;
+    }
+    if (leaf >= 0) {
+      SLP_CHECK(dyn_->PlaceAt(handle, leaf, SubscriberState::kLive).ok());
+      ++report.undegraded;
+      backoff_.erase(it);
+    } else {
+      Backoff& b = it->second;
+      ++b.attempts;
+      const double wait =
+          options_.backoff_base * std::pow(options_.backoff_factor, b.attempts);
+      b.next = now + static_cast<int64_t>(std::min(
+                         wait, static_cast<double>(options_.backoff_max)));
+    }
+  }
+  return report;
+}
+
+}  // namespace slp::core

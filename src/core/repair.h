@@ -1,0 +1,94 @@
+// Online repair after broker failures (DESIGN.md §9).
+//
+// When a leaf broker crashes, its subscribers become orphans on the owning
+// DynamicAssigner. RepairEngine re-places them with the Gr rule (least
+// filter enlargement along the live publisher-to-leaf path) under an
+// escalation ladder:
+//
+//   rung 1  latency-feasible live leaves within the desired cap (β);
+//   rung 2  β-escalation: same, within the emergency cap (β_max);
+//   rung 3  latency-slack relaxation: any live leaf within β_max,
+//           minimizing the latency excess (subscriber becomes kDegraded
+//           with the excess quantified);
+//   rung 4  load relaxation too: the latency-best live leaf regardless of
+//           load (kDegraded, latency and load excess quantified);
+//   park    no live leaf at all: kDegraded/unplaced until one recovers.
+//
+// The engine NEVER aborts: every orphan it examines ends placed (kLive or
+// kDegraded) or parked with its violation quantified. Each Repair() pass
+// runs under a common::Deadline — orphans not reached before expiry simply
+// stay orphaned and are retried on the next pass (the retry half of
+// retry/backoff). Degraded subscribers are retried through rungs 1–2 under
+// per-subscriber exponential backoff, so a recovery or load drain
+// eventually un-degrades them without hammering the ladder every tick.
+
+#ifndef SLP_CORE_REPAIR_H_
+#define SLP_CORE_REPAIR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/deadline.h"
+#include "src/common/status.h"
+#include "src/core/dynamic.h"
+
+namespace slp::core {
+
+struct RepairOptions {
+  // Ticks before the first retry of a degraded subscriber, and the
+  // exponential growth per failed retry (capped).
+  int64_t backoff_base = 4;
+  double backoff_factor = 2.0;
+  int64_t backoff_max = 1024;
+};
+
+struct RepairReport {
+  // Orphans present when the pass started.
+  int orphans_seen = 0;
+  // Orphans placed within all constraints (now kLive).
+  int repaired = 0;
+  // Orphans placed or parked outside constraints (now kDegraded).
+  int degraded = 0;
+  // Orphans not reached before the deadline (still kOrphaned).
+  int still_orphaned = 0;
+  // Degraded subscribers whose backoff elapsed and were retried / of those,
+  // how many came back to kLive.
+  int retried = 0;
+  int undegraded = 0;
+  bool deadline_expired = false;
+  // Largest violations quantified this pass.
+  double max_latency_violation = 0;
+  double max_load_violation = 0;
+};
+
+class RepairEngine {
+ public:
+  explicit RepairEngine(DynamicAssigner* assigner, RepairOptions options = {});
+
+  // One repair pass at logical time `now` (a monotone tick, e.g. the
+  // replay's event index; callers outside a simulation can pass an
+  // incrementing counter). Processes all current orphans through the
+  // ladder, then retries degraded subscribers whose backoff elapsed.
+  // Checks `deadline` between subscribers; never aborts.
+  RepairReport Repair(const Deadline& deadline, int64_t now = 0);
+
+ private:
+  struct Backoff {
+    int attempts = 0;
+    int64_t next = 0;
+  };
+
+  // Ladder rungs 1–2: best live leaf within `lbf` cap and latency bound;
+  // -1 if none.
+  int BestConstrainedLeaf(const wl::Subscriber& s, double lbf) const;
+  // Runs the full ladder for one subscriber. Returns the resulting state.
+  SubscriberState PlaceWithLadder(int handle, RepairReport* report);
+
+  DynamicAssigner* dyn_;
+  RepairOptions options_;
+  std::unordered_map<int, Backoff> backoff_;  // handle -> retry state
+};
+
+}  // namespace slp::core
+
+#endif  // SLP_CORE_REPAIR_H_

@@ -128,7 +128,17 @@ class SlpRunner {
 
     const Targets targets = BuildChildTargets(problem_, subs, node);
     std::vector<int> target_of;
-    if (static_cast<int>(subs.size()) <= options_.gamma) {
+    // A spent deadline degrades every remaining recursion node to the
+    // greedy partition (FilterAssign would only burn time completing
+    // deterministically anyway); checking it consumes no randomness, so an
+    // infinite deadline leaves the run bit-identical.
+    if (static_cast<int>(subs.size()) <= options_.gamma ||
+        options_.slp1.filter_assign.deadline.expired()) {
+      if (static_cast<int>(subs.size()) > options_.gamma &&
+          stats_ != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_->any_budget_exhausted = true;
+      }
       target_of = GreedyPartition(targets);
     } else {
       // One SLP1 stage over the child subtrees.

@@ -41,6 +41,83 @@ void BrokerTree::Finalize() {
   for (int v = 1; v < num_nodes(); ++v) {
     if (children_[v].empty()) leaves_.push_back(v);
   }
+  failed_.assign(num_nodes(), false);
+  RebuildLiveOverlay();
+}
+
+Status BrokerTree::FailBroker(int node) {
+  SLP_CHECK(finalized_);
+  if (node <= kPublisher || node >= num_nodes()) {
+    return Status::InvalidArgument("FailBroker: node " + std::to_string(node) +
+                                   " is not a broker");
+  }
+  if (failed_[node]) {
+    return Status::InvalidArgument("FailBroker: node " + std::to_string(node) +
+                                   " already failed");
+  }
+  failed_[node] = true;
+  ++num_failed_;
+  RebuildLiveOverlay();
+  return Status::OK();
+}
+
+Status BrokerTree::RecoverBroker(int node) {
+  SLP_CHECK(finalized_);
+  if (node <= kPublisher || node >= num_nodes() || !failed_[node]) {
+    return Status::InvalidArgument("RecoverBroker: node " +
+                                   std::to_string(node) + " is not failed");
+  }
+  failed_[node] = false;
+  --num_failed_;
+  RebuildLiveOverlay();
+  return Status::OK();
+}
+
+void BrokerTree::RebuildLiveOverlay() {
+  live_parent_.assign(num_nodes(), -1);
+  live_children_.assign(num_nodes(), {});
+  live_root_latency_.assign(num_nodes(), 0.0);
+  live_leaves_.clear();
+  // Nodes are created parent-before-child and splicing only moves a node
+  // upward, so live_parent_[v] < v and a forward pass suffices.
+  for (int v = 1; v < num_nodes(); ++v) {
+    if (failed_[v]) continue;
+    int p = parent_[v];
+    while (p != kPublisher && failed_[p]) p = parent_[p];
+    live_parent_[v] = p;
+    live_children_[p].push_back(v);
+    live_root_latency_[v] =
+        live_root_latency_[p] + geo::Distance(location_[p], location_[v]);
+  }
+  for (int leaf : leaves_) {
+    if (!failed_[leaf]) live_leaves_.push_back(leaf);
+  }
+}
+
+std::vector<int> BrokerTree::LivePathFromRoot(int node) const {
+  SLP_CHECK(finalized_);
+  SLP_CHECK(!failed_[node]);
+  std::vector<int> path;
+  for (int v = node; v != -1; v = live_parent_[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double BrokerTree::LiveLatencyVia(int leaf,
+                                  const geo::Point& sub_location) const {
+  SLP_CHECK(finalized_);
+  SLP_CHECK(!failed_[leaf]);
+  return live_root_latency_[leaf] +
+         geo::Distance(location_[leaf], sub_location);
+}
+
+double BrokerTree::LiveShortestLatency(const geo::Point& sub_location) const {
+  SLP_CHECK(finalized_);
+  double best = std::numeric_limits<double>::infinity();
+  for (int leaf : live_leaves_) {
+    best = std::min(best, LiveLatencyVia(leaf, sub_location));
+  }
+  return best;
 }
 
 std::vector<int> BrokerTree::broker_nodes() const {

@@ -11,14 +11,23 @@
 
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/geometry/point.h"
 
 namespace slp::net {
 
-// Immutable after Finalize(). Provides the latency primitives the SA
-// problem needs: root-to-node path latency, root-to-subscriber latency via
-// a given leaf, and the shortest publisher-to-subscriber latency through
-// the tree (Δ in the paper's delay definition δ/Δ - 1).
+// Topology immutable after Finalize(). Provides the latency primitives the
+// SA problem needs: root-to-node path latency, root-to-subscriber latency
+// via a given leaf, and the shortest publisher-to-subscriber latency
+// through the tree (Δ in the paper's delay definition δ/Δ - 1).
+//
+// After Finalize() the tree additionally supports a crash-stop failure
+// overlay (FailBroker / RecoverBroker). A failed broker is spliced out of
+// the routing tree: every live node's effective parent becomes its nearest
+// live ancestor (the publisher never fails). The static topology accessors
+// (parent(), children(), leaf_brokers(), ...) always describe the designed
+// tree; the live_* / Live* accessors describe the current overlay. With no
+// failures the two views are identical, value for value.
 class BrokerTree {
  public:
   static constexpr int kPublisher = 0;
@@ -67,13 +76,68 @@ class BrokerTree {
   // Maximum depth (edges) over all nodes.
   int Depth() const;
 
+  // ---- Crash-stop failure overlay (valid after Finalize()) ----
+  //
+  // Failing an interior broker splices its children up to their nearest
+  // live ancestor. This is routing-safe without any filter recomputation:
+  // the nesting condition f_child ⊆ f_parent ⊆ f_grandparent makes every
+  // child filter already covered by the splice target (proved in
+  // tests/repair_test.cc). Failing a leaf merely removes it from the live
+  // leaf set — orphaned subscribers are the core layer's concern.
+
+  // Marks a broker failed. INVALID_ARGUMENT if `node` is the publisher,
+  // out of range, or already failed.
+  Status FailBroker(int node);
+
+  // Brings a failed broker back. INVALID_ARGUMENT if `node` is not
+  // currently failed.
+  Status RecoverBroker(int node);
+
+  bool is_failed(int node) const { return failed_[node]; }
+  int num_failed() const { return num_failed_; }
+  bool any_failed() const { return num_failed_ > 0; }
+
+  // Nearest live proper ancestor (the node's parent in the live overlay);
+  // -1 for the publisher or a failed node.
+  int live_parent(int node) const { return live_parent_[node]; }
+  const std::vector<int>& live_children(int node) const {
+    return live_children_[node];
+  }
+  // Live static leaves (failed leaves excluded), increasing node-id order.
+  // An interior broker whose leaves all failed does NOT become a leaf.
+  const std::vector<int>& live_leaf_brokers() const { return live_leaves_; }
+
+  // Nodes from the publisher (inclusive) to `node` (inclusive) in the live
+  // overlay. `node` must be live.
+  std::vector<int> LivePathFromRoot(int node) const;
+
+  // Overlay analogues of the latency primitives. Splicing shortens paths:
+  // a child's latency contribution becomes the direct distance to its
+  // nearest live ancestor.
+  double LivePathLatencyFromRoot(int node) const {
+    return live_root_latency_[node];
+  }
+  double LiveLatencyVia(int leaf, const geo::Point& sub_location) const;
+  // Δ over live leaves; +inf when every leaf is down.
+  double LiveShortestLatency(const geo::Point& sub_location) const;
+
  private:
+  void RebuildLiveOverlay();
+
   std::vector<int> parent_;
   std::vector<std::vector<int>> children_;
   std::vector<geo::Point> location_;
   std::vector<double> root_latency_;
   std::vector<int> leaves_;
   bool finalized_ = false;
+
+  // Failure overlay; rebuilt in O(n) on each fail/recover event.
+  std::vector<bool> failed_;
+  int num_failed_ = 0;
+  std::vector<int> live_parent_;
+  std::vector<std::vector<int>> live_children_;
+  std::vector<double> live_root_latency_;
+  std::vector<int> live_leaves_;
 };
 
 }  // namespace slp::net

@@ -55,6 +55,18 @@ void RouteEvent(const core::SaProblem& problem,
 
 }  // namespace
 
+void DisseminationStats::CheckInvariants() const {
+  SLP_CHECK(events >= 0 && total_messages >= 0 && deliveries >= 0 &&
+            wasted_leaf_hits >= 0 && missed_deliveries >= 0);
+  int64_t hit_sum = 0;
+  for (int64_t h : broker_hits) {
+    SLP_CHECK(h >= 0);
+    hit_sum += h;
+  }
+  SLP_CHECK(hit_sum == total_messages);
+  SLP_CHECK(wasted_leaf_hits <= total_messages);
+}
+
 DisseminationStats Simulate(const core::SaProblem& problem,
                             const core::SaSolution& solution,
                             const std::vector<geo::Point>& events) {
@@ -70,6 +82,7 @@ DisseminationStats Simulate(const core::SaProblem& problem,
     ++stats.events;
     RouteEvent(problem, solution, e, subs_of_leaf, &stats);
   }
+  stats.CheckInvariants();
   return stats;
 }
 

@@ -23,6 +23,16 @@
 
 namespace slp::sim {
 
+// Counter-width audit (DESIGN.md §9): every cumulative counter is int64_t.
+// total_messages grows by at most num_nodes per event, so overflow needs
+// events * num_nodes > 2^63 ≈ 9.2e18 — at the largest workloads simulated
+// here (≤1e7 events, ≤1e5 brokers: ≤1e12 entries) there are more than six
+// orders of magnitude of headroom. `events` stays int because it is bounded
+// by the caller-supplied stream length. CheckInvariants() verifies the
+// cross-counter identities (and would catch wraparound, which breaks them).
+// During outages, failed brokers forward nothing: the fault replay routes
+// only over live_children and asserts no failed broker is ever counted in
+// broker_hits / total_messages (see sim/fault_plan.cc).
 struct DisseminationStats {
   int events = 0;
   // Events entering each broker node (index = tree node id; publisher 0).
@@ -41,6 +51,11 @@ struct DisseminationStats {
   double MeanMessagesPerEvent() const {
     return events > 0 ? static_cast<double>(total_messages) / events : 0;
   }
+
+  // Asserts the cross-counter identities: all counters non-negative,
+  // Σ broker_hits == total_messages, and wasted leaf hits cannot exceed
+  // total broker entries. Cheap; called once per simulation.
+  void CheckInvariants() const;
 };
 
 // Samples `num_events` events uniformly from `event_box` and routes each

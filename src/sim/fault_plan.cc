@@ -1,0 +1,241 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/core/greedy.h"
+#include "src/core/metrics.h"
+
+namespace slp::sim {
+
+namespace {
+
+// Routes one event over the live overlay: a broker forwards iff it is
+// live and the event lies inside its current (DynamicAssigner) filter.
+// Failed brokers never appear in live_children, which the SLP_CHECK below
+// asserts — they are excluded from total_messages by construction.
+void RouteLiveEvent(const core::DynamicAssigner& dyn, const geo::Point& event,
+                    const std::vector<std::vector<int>>& handles_of_leaf,
+                    DisseminationStats* stats) {
+  const net::BrokerTree& tree = dyn.tree();
+  std::vector<int> stack(
+      tree.live_children(net::BrokerTree::kPublisher).begin(),
+      tree.live_children(net::BrokerTree::kPublisher).end());
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    SLP_CHECK(!tree.is_failed(v));
+    bool inside = false;
+    for (const geo::Rectangle& r : dyn.filter(v)) {
+      if (r.ContainsPoint(event)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) continue;
+    ++stats->broker_hits[v];
+    ++stats->total_messages;
+    if (tree.is_leaf(v)) {
+      bool delivered_any = false;
+      for (int h : handles_of_leaf[v]) {
+        if (dyn.subscriber(h).subscription.ContainsPoint(event)) {
+          ++stats->deliveries;
+          delivered_any = true;
+        }
+      }
+      if (!delivered_any) ++stats->wasted_leaf_hits;
+    } else {
+      for (int c : tree.live_children(v)) stack.push_back(c);
+    }
+  }
+}
+
+// True iff every filter on the live path from `leaf` to the publisher
+// contains the event (i.e., routing delivered it).
+bool ReachedOverLivePath(const core::DynamicAssigner& dyn, int leaf,
+                         const geo::Point& event) {
+  const net::BrokerTree& tree = dyn.tree();
+  for (int v = leaf; v != net::BrokerTree::kPublisher;
+       v = tree.live_parent(v)) {
+    bool inside = false;
+    for (const geo::Rectangle& r : dyn.filter(v)) {
+      if (r.ContainsPoint(event)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> HandlesByLeaf(const core::DynamicAssigner& dyn) {
+  std::vector<std::vector<int>> out(dyn.tree().num_nodes());
+  for (int h = 0; h < dyn.slot_count(); ++h) {
+    if (!dyn.is_occupied(h)) continue;
+    const int leaf = dyn.leaf_of(h);
+    if (leaf >= 0) out[leaf].push_back(h);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_event < b.at_event;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::SeededRandom(const net::BrokerTree& tree, int num_events,
+                                  double fail_fraction, int outage_events,
+                                  Rng& rng) {
+  const int num_brokers = tree.num_nodes() - 1;  // publisher excluded
+  SLP_CHECK(num_brokers > 0 && num_events > 0);
+  const int victims = std::min(
+      num_brokers,
+      std::max(1, static_cast<int>(std::ceil(fail_fraction * num_brokers))));
+  // Sampled ids are 0-based broker offsets; +1 skips the publisher.
+  const std::vector<int> picks =
+      UniformSampleWithoutReplacement(num_brokers, victims, rng);
+  std::vector<FaultEvent> events;
+  for (int pick : picks) {
+    const int node = pick + 1;
+    const int start = static_cast<int>(rng.UniformInt(0, num_events - 1));
+    events.push_back(FaultEvent{start, node, /*fail=*/true});
+    const int end = start + outage_events;
+    if (end < num_events) {
+      events.push_back(FaultEvent{end, node, /*fail=*/false});
+    }
+  }
+  return Scripted(std::move(events));
+}
+
+Result<FaultReplayResult> ReplayWithFaults(
+    core::DynamicAssigner& dyn, const FaultPlan& plan,
+    const std::vector<geo::Point>& events, const FaultReplayOptions& options,
+    Rng& rng) {
+  SLP_CHECK(options.epoch_length > 0);
+  FaultReplayResult result;
+  result.stats.broker_hits.assign(dyn.tree().num_nodes(), 0);
+
+  core::RepairEngine engine(&dyn, options.repair);
+  std::vector<std::vector<int>> handles_of_leaf = HandlesByLeaf(dyn);
+  bool placement_dirty = false;
+
+  EpochRecoveryStats epoch;
+  epoch.first_event = 0;
+  int64_t epoch_delivery_base = 0;
+
+  int outage_start = -1;  // event index at which the current backlog began
+  size_t next_fault = 0;
+  const std::vector<FaultEvent>& faults = plan.events();
+
+  const int num_events = static_cast<int>(events.size());
+  for (int i = 0; i < num_events; ++i) {
+    // 1. Apply the faults scheduled for this tick.
+    while (next_fault < faults.size() && faults[next_fault].at_event <= i) {
+      const FaultEvent& f = faults[next_fault++];
+      const size_t orphans_before = dyn.orphans().size();
+      SLP_RETURN_IF_ERROR(f.fail ? dyn.FailBroker(f.node)
+                                 : dyn.RecoverBroker(f.node));
+      result.total_orphaned +=
+          static_cast<int>(dyn.orphans().size() - orphans_before);
+      placement_dirty = true;
+    }
+    if (outage_start < 0 && !dyn.orphans().empty()) outage_start = i;
+
+    // 2. Repair tick (after the detection delay) under the per-tick budget.
+    const bool orphans_due =
+        outage_start >= 0 && i - outage_start >= options.detection_delay_events;
+    if (orphans_due || (dyn.orphans().empty() &&
+                        !dyn.degraded_handles().empty())) {
+      const Deadline budget =
+          options.repair_budget_seconds < 0
+              ? Deadline::Infinite()
+              : Deadline::After(options.repair_budget_seconds);
+      const core::RepairReport report = engine.Repair(budget, i);
+      result.total_repaired += report.repaired;
+      result.total_degraded_placed += report.degraded;
+      result.total_undegraded += report.undegraded;
+      epoch.repaired += report.repaired + report.undegraded;
+      epoch.degraded_placed += report.degraded;
+      if (report.repaired + report.degraded + report.undegraded > 0) {
+        placement_dirty = true;
+      }
+    }
+    if (outage_start >= 0 && dyn.orphans().empty()) {
+      result.time_to_repair.push_back(i - outage_start);
+      outage_start = -1;
+    }
+
+    // 3. Route the event over the live overlay.
+    if (placement_dirty) {
+      handles_of_leaf = HandlesByLeaf(dyn);
+      placement_dirty = false;
+    }
+    const geo::Point& event = events[i];
+    ++result.stats.events;
+    ++epoch.num_events;
+    RouteLiveEvent(dyn, event, handles_of_leaf, &result.stats);
+
+    // 4. Ground truth: attribute every miss to its cause.
+    for (int h = 0; h < dyn.slot_count(); ++h) {
+      if (!dyn.is_occupied(h)) continue;
+      if (!dyn.subscriber(h).subscription.ContainsPoint(event)) continue;
+      const int leaf = dyn.leaf_of(h);
+      if (leaf < 0) {
+        // Orphaned, or degraded and parked unplaced: the outage's price.
+        ++result.missed_outage;
+        ++epoch.missed_outage;
+        continue;
+      }
+      if (ReachedOverLivePath(dyn, leaf, event)) continue;
+      if (dyn.state(h) == core::SubscriberState::kLive) {
+        ++result.missed_live;
+        ++result.stats.missed_deliveries;
+      } else {
+        ++result.missed_degraded;
+      }
+    }
+
+    // 5. Epoch boundary.
+    if ((i + 1) % options.epoch_length == 0 || i + 1 == num_events) {
+      epoch.deliveries = result.stats.deliveries - epoch_delivery_base;
+      epoch_delivery_base = result.stats.deliveries;
+      epoch.orphans_end = static_cast<int>(dyn.orphans().size());
+      epoch.degraded_end = static_cast<int>(dyn.degraded_handles().size());
+      epoch.qt_end = dyn.CurrentBandwidth();
+      result.epochs.push_back(epoch);
+      epoch = EpochRecoveryStats{};
+      epoch.first_event = i + 1;
+    }
+  }
+
+  result.unrepaired_at_end = static_cast<int>(dyn.orphans().size());
+  result.degraded_at_end = static_cast<int>(dyn.degraded_handles().size());
+  result.qt_final = dyn.CurrentBandwidth();
+  result.stats.CheckInvariants();
+
+  if (options.compute_fresh_baseline) {
+    // Q(T) inflation: the online-repaired deployment vs a fresh offline
+    // Gr* over the same surviving topology and population.
+    Result<core::DynamicAssigner::LiveSnapshot> snap = dyn.SnapshotLive();
+    if (snap.ok()) {
+      const core::SaSolution fresh = core::RunGrStar(snap.value().problem, rng);
+      result.qt_fresh =
+          core::ComputeMetrics(snap.value().problem, fresh).total_bandwidth;
+      if (result.qt_fresh > 0) {
+        result.qt_inflation = result.qt_final / result.qt_fresh;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace slp::sim

@@ -1,0 +1,142 @@
+// Broker-failure injection for the dissemination simulator (DESIGN.md §9).
+//
+// A FaultPlan is a schedule of crash-stop fail/recover events interleaved
+// with the event stream: the fault at `at_event` is applied (and a repair
+// pass runs) before event number `at_event` is routed. ReplayWithFaults
+// drives a DynamicAssigner through the plan, routing every event over the
+// *live* overlay — failed brokers forward nothing and are asserted out of
+// the message counters — and accounts every missed delivery to its cause:
+//
+//  * missed_live      — a kLive subscriber missed a matching event. This is
+//                       a correctness bug (coverage/nesting broken): the
+//                       repair pipeline must keep it at zero.
+//  * missed_outage    — the subscriber was orphaned or parked unplaced when
+//                       the event fired; the miss is the unavoidable price
+//                       of the outage, and exactly what time-to-repair and
+//                       the per-tick repair deadline trade against.
+//  * missed_degraded  — a *placed* degraded subscriber missed (expected 0:
+//                       placement grows path filters even when latency or
+//                       load constraints are violated).
+//
+// Per-epoch recovery metrics (orphan backlog, repairs, Q(T) of the live
+// deployment) expose the recovery trajectory, and the final Q(T) is
+// compared against a fresh offline Gr* re-solve of the surviving topology
+// to quantify the inflation the online repairs accumulated.
+
+#ifndef SLP_SIM_FAULT_PLAN_H_
+#define SLP_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/deadline.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/dynamic.h"
+#include "src/core/repair.h"
+#include "src/sim/dissemination.h"
+
+namespace slp::sim {
+
+struct FaultEvent {
+  // The fault is applied just before event number `at_event` is routed; a
+  // value >= the stream length means "after the last event" (never applied
+  // by ReplayWithFaults).
+  int at_event = 0;
+  int node = 0;       // broker node id (never the publisher)
+  bool fail = true;   // false = recover
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // A caller-specified schedule; events are stably sorted by at_event.
+  static FaultPlan Scripted(std::vector<FaultEvent> events);
+
+  // Fails a seeded-random subset of brokers (interior or leaf, never the
+  // publisher): ceil(fail_fraction * num_brokers) distinct victims, each
+  // failing at a uniform event index and recovering `outage_events` later
+  // (faults whose recovery lands past the stream end stay down).
+  // Deterministic for a given Rng state.
+  static FaultPlan SeededRandom(const net::BrokerTree& tree, int num_events,
+                                double fail_fraction, int outage_events,
+                                Rng& rng);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by at_event (stable)
+};
+
+struct FaultReplayOptions {
+  // Epoch length (in events) for the recovery-metrics time series.
+  int epoch_length = 100;
+  core::RepairOptions repair;
+  // Wall-clock budget of each per-tick repair pass; < 0 means infinite.
+  // Orphans not reached before expiry stay orphaned into the next tick —
+  // this is what makes time-to-repair exceed zero.
+  double repair_budget_seconds = -1;
+  // Events between orphans appearing and the first repair pass (models
+  // failure-detection delay).
+  int detection_delay_events = 0;
+  // Solve a fresh offline Gr* over the final live topology and report the
+  // Q(T) inflation of the online-repaired deployment against it.
+  bool compute_fresh_baseline = true;
+};
+
+// One epoch of the recovery time series.
+struct EpochRecoveryStats {
+  int first_event = 0;
+  int num_events = 0;
+  int64_t deliveries = 0;
+  int64_t missed_outage = 0;
+  int repaired = 0;         // orphan -> kLive transitions this epoch
+  int degraded_placed = 0;  // orphan -> kDegraded transitions this epoch
+  int orphans_end = 0;      // backlog at epoch end
+  int degraded_end = 0;
+  double qt_end = 0;        // live-deployment Q(T) at epoch end
+};
+
+struct FaultReplayResult {
+  // Routing counters over the live overlay. `stats.missed_deliveries`
+  // counts only missed_live (the correctness-critical misses); outage and
+  // degraded misses are broken out below.
+  DisseminationStats stats;
+  int64_t missed_live = 0;
+  int64_t missed_outage = 0;
+  int64_t missed_degraded = 0;
+
+  int total_orphaned = 0;   // handles that ever became orphaned
+  int total_repaired = 0;
+  int total_degraded_placed = 0;
+  int total_undegraded = 0;  // degraded retries that came back to kLive
+
+  // For each contiguous outage (orphans going 0 -> >0 -> 0), the number of
+  // event ticks the backlog took to clear; 0 = repaired before any event
+  // was routed.
+  std::vector<int> time_to_repair;
+  int unrepaired_at_end = 0;
+  int degraded_at_end = 0;
+
+  double qt_final = 0;      // live-deployment Q(T) after the last event
+  double qt_fresh = 0;      // fresh Gr* Q(T) over the same live topology
+  double qt_inflation = 0;  // qt_final / qt_fresh (0 when no baseline ran)
+
+  std::vector<EpochRecoveryStats> epochs;
+};
+
+// Replays `events` through `dyn` under `plan`. `rng` is consumed only by
+// the fresh-baseline Gr* solve (a plan with compute_fresh_baseline=false
+// consumes no randomness). Fault events referencing invalid brokers (the
+// publisher, out of range, failing an already-failed node) surface as the
+// underlying Status error.
+Result<FaultReplayResult> ReplayWithFaults(core::DynamicAssigner& dyn,
+                                           const FaultPlan& plan,
+                                           const std::vector<geo::Point>& events,
+                                           const FaultReplayOptions& options,
+                                           Rng& rng);
+
+}  // namespace slp::sim
+
+#endif  // SLP_SIM_FAULT_PLAN_H_

@@ -37,7 +37,7 @@ SaConfig LooseConfig() {
 
 TEST(DynamicTest, AddAssignsAndCovers) {
   DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
-  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1)).value();
   EXPECT_GE(h, 0);
   EXPECT_EQ(dyn.live_count(), 1);
   auto [problem, solution] = dyn.Snapshot();
@@ -49,7 +49,7 @@ TEST(DynamicTest, AddAssignsAndCovers) {
 
 TEST(DynamicTest, RemoveReleasesCapacityButKeepsFilters) {
   DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
-  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  const int h = dyn.Add(MakeSub(0, 1, 0.1, 0.1)).value();
   const double bw_before = dyn.CurrentBandwidth();
   dyn.Remove(h);
   EXPECT_EQ(dyn.live_count(), 0);
@@ -60,9 +60,9 @@ TEST(DynamicTest, RemoveReleasesCapacityButKeepsFilters) {
 
 TEST(DynamicTest, HandleReuseAfterRemoval) {
   DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
-  const int h1 = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  const int h1 = dyn.Add(MakeSub(0, 1, 0.1, 0.1)).value();
   dyn.Remove(h1);
-  const int h2 = dyn.Add(MakeSub(0, 1, 0.5, 0.1));
+  const int h2 = dyn.Add(MakeSub(0, 1, 0.5, 0.1)).value();
   EXPECT_EQ(h1, h2);  // slot reused
   EXPECT_EQ(dyn.live_count(), 1);
 }
@@ -86,7 +86,8 @@ TEST(DynamicTest, ChurnCreatesStalenessReoptimizeReclaims) {
   std::vector<int> phase1;
   for (int i = 0; i < 30; ++i) {
     phase1.push_back(dyn.Add(MakeSub(rng.Uniform(-1, 1), 1,
-                                     rng.Uniform(0.05, 0.15), 0.05)));
+                                     rng.Uniform(0.05, 0.15), 0.05))
+                         .value());
   }
   // Phase 2: topic A leaves; topic B (around 0.8) arrives.
   for (int h : phase1) dyn.Remove(h);

@@ -1,0 +1,638 @@
+// Broker-failure injection and online repair (DESIGN.md §9): the live
+// overlay, the nesting-safety argument for splice-up, the repair ladder,
+// deadline-bounded reoptimization, the fault replay, and a property fuzz
+// over random Add/Remove/fail/recover sequences.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/deadline.h"
+#include "src/core/dynamic.h"
+#include "src/core/greedy.h"
+#include "src/core/repair.h"
+#include "src/core/slp.h"
+#include "src/network/tree_builder.h"
+#include "src/sim/fault_plan.h"
+#include "src/workload/grid.h"
+
+namespace slp::core {
+namespace {
+
+using geo::Point;
+using geo::Rectangle;
+
+wl::Subscriber MakeSub(double x, double y, double cx, double w) {
+  wl::Subscriber s;
+  s.location = {x, y};
+  s.subscription = Rectangle({cx, cx}, {cx + w, cx + w});
+  return s;
+}
+
+net::BrokerTree TwoBrokerTree() {
+  net::BrokerTree tree({0, 0});
+  tree.AddBroker({1, 0}, net::BrokerTree::kPublisher);
+  tree.AddBroker({-1, 0}, net::BrokerTree::kPublisher);
+  tree.Finalize();
+  return tree;
+}
+
+// Publisher -> two interior brokers -> two leaves each.
+//   node 1 = interior A (children 3, 4), node 2 = interior B (children 5, 6)
+net::BrokerTree TwoLevelTree() {
+  net::BrokerTree tree({0, 0});
+  const int a = tree.AddBroker({0, 1}, net::BrokerTree::kPublisher);
+  const int b = tree.AddBroker({0, -1}, net::BrokerTree::kPublisher);
+  tree.AddBroker({-1, 2}, a);
+  tree.AddBroker({1, 2}, a);
+  tree.AddBroker({-1, -2}, b);
+  tree.AddBroker({1, -2}, b);
+  tree.Finalize();
+  return tree;
+}
+
+SaConfig LooseConfig() {
+  SaConfig config;
+  config.max_delay = 3.0;
+  config.alpha = 2;
+  return config;
+}
+
+// True iff some rectangle of the node's filter fully contains `sub` at
+// every broker on the live path from `leaf` to the publisher — the
+// condition under which no event matching `sub` can be dropped en route.
+bool CoveredOnLivePath(const DynamicAssigner& dyn, int leaf,
+                       const Rectangle& sub) {
+  for (int v = leaf; v != net::BrokerTree::kPublisher;
+       v = dyn.tree().live_parent(v)) {
+    bool covered = false;
+    for (const Rectangle& r : dyn.filter(v)) {
+      if (r.Contains(sub)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline
+
+TEST(DeadlineTest, DefaultAndInfiniteNeverExpire) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+  EXPECT_FALSE(Deadline::Infinite().expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  EXPECT_TRUE(Deadline::After(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_LE(Deadline::After(0).remaining_seconds(), 0);
+}
+
+TEST(DeadlineTest, GenerousBudgetNotYetExpired) {
+  const Deadline d = Deadline::After(3600);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000);
+}
+
+// ---------------------------------------------------------------------------
+// BrokerTree live overlay
+
+TEST(BrokerTreeFailureTest, LiveAccessorsMatchStaticWithoutFailures) {
+  const net::BrokerTree tree = TwoLevelTree();
+  EXPECT_FALSE(tree.any_failed());
+  for (int v = 1; v < tree.num_nodes(); ++v) {
+    EXPECT_EQ(tree.live_parent(v), tree.parent(v));
+    EXPECT_EQ(tree.live_children(v), tree.children(v));
+    EXPECT_DOUBLE_EQ(tree.LivePathLatencyFromRoot(v),
+                     tree.PathLatencyFromRoot(v));
+  }
+  EXPECT_EQ(tree.live_leaf_brokers(), tree.leaf_brokers());
+}
+
+TEST(BrokerTreeFailureTest, InteriorFailureSplicesChildrenToGrandparent) {
+  net::BrokerTree tree = TwoLevelTree();
+  ASSERT_TRUE(tree.FailBroker(1).ok());
+  EXPECT_TRUE(tree.is_failed(1));
+  EXPECT_EQ(tree.num_failed(), 1);
+  // A's children (3, 4) splice up to the publisher.
+  EXPECT_EQ(tree.live_parent(3), net::BrokerTree::kPublisher);
+  EXPECT_EQ(tree.live_parent(4), net::BrokerTree::kPublisher);
+  const auto& root_children =
+      tree.live_children(net::BrokerTree::kPublisher);
+  EXPECT_EQ(root_children, (std::vector<int>{2, 3, 4}));
+  // The static topology is untouched.
+  EXPECT_EQ(tree.parent(3), 1);
+  // All four leaves are still live (interior failure orphans nobody).
+  EXPECT_EQ(tree.live_leaf_brokers(), tree.leaf_brokers());
+
+  ASSERT_TRUE(tree.RecoverBroker(1).ok());
+  EXPECT_FALSE(tree.any_failed());
+  EXPECT_EQ(tree.live_parent(3), 1);
+  EXPECT_EQ(tree.live_children(net::BrokerTree::kPublisher),
+            (std::vector<int>{1, 2}));
+}
+
+TEST(BrokerTreeFailureTest, LeafFailureShrinksLiveLeaves) {
+  net::BrokerTree tree = TwoBrokerTree();
+  ASSERT_TRUE(tree.FailBroker(1).ok());
+  EXPECT_EQ(tree.live_leaf_brokers(), std::vector<int>{2});
+  ASSERT_TRUE(tree.FailBroker(2).ok());
+  EXPECT_TRUE(tree.live_leaf_brokers().empty());
+  EXPECT_TRUE(std::isinf(tree.LiveShortestLatency({0, 0})));
+}
+
+TEST(BrokerTreeFailureTest, RejectsInvalidFailures) {
+  net::BrokerTree tree = TwoBrokerTree();
+  EXPECT_EQ(tree.FailBroker(net::BrokerTree::kPublisher).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.FailBroker(99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.RecoverBroker(1).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(tree.FailBroker(1).ok());
+  EXPECT_EQ(tree.FailBroker(1).code(), StatusCode::kInvalidArgument);
+}
+
+// The satellite proof: because every broker's filter covers each
+// subscription served below it (f_child ⊆ f_parent in coverage terms),
+// splicing a failed interior broker out of the path keeps every remaining
+// filter on the path covering — no recomputation needed.
+TEST(BrokerTreeFailureTest, NestingMakesInteriorSpliceFilterSafe) {
+  Rng rng(7);
+  DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), 40);
+  std::vector<int> handles;
+  for (int i = 0; i < 40; ++i) {
+    handles.push_back(dyn.Add(MakeSub(rng.Uniform(-1, 1), rng.Uniform(-2, 2),
+                                      rng.Uniform(-0.9, 0.8), 0.1))
+                          .value());
+  }
+  // Static-path coverage first (the nesting precondition).
+  for (int h : handles) {
+    ASSERT_TRUE(CoveredOnLivePath(dyn, dyn.leaf_of(h),
+                                  dyn.subscriber(h).subscription));
+  }
+  // Remember filters, then fail an interior broker.
+  std::vector<std::vector<Rectangle>> before;
+  for (int v = 0; v < dyn.tree().num_nodes(); ++v) {
+    before.push_back(dyn.filter(v));
+  }
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  // Nobody is orphaned, no filter changed, and every subscriber is still
+  // covered along its (spliced) live path.
+  EXPECT_TRUE(dyn.orphans().empty());
+  for (int v = 0; v < dyn.tree().num_nodes(); ++v) {
+    if (v == 1) continue;
+    EXPECT_EQ(dyn.filter(v).size(), before[v].size());
+  }
+  for (int h : handles) {
+    EXPECT_EQ(dyn.state(h), SubscriberState::kLive);
+    EXPECT_TRUE(CoveredOnLivePath(dyn, dyn.leaf_of(h),
+                                  dyn.subscriber(h).subscription));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicAssigner failure paths
+
+TEST(DynamicFailureTest, AddReturnsInfeasibleWhenAllLeavesFailed) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  ASSERT_TRUE(dyn.FailBroker(2).ok());
+  const Result<int> r = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(dyn.population(), 0);
+  // Recovery restores service.
+  ASSERT_TRUE(dyn.RecoverBroker(1).ok());
+  EXPECT_TRUE(dyn.Add(MakeSub(0, 1, 0.1, 0.1)).ok());
+}
+
+TEST(DynamicFailureTest, AddReturnsInfeasibleForNonPositiveAlpha) {
+  SaConfig config = LooseConfig();
+  config.alpha = 0;  // previously an SLP_CHECK abort inside incorporation
+  DynamicAssigner dyn(TwoBrokerTree(), config, 10);
+  const Result<int> r = dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(dyn.population(), 0);
+}
+
+TEST(DynamicFailureTest, LeafFailureOrphansItsSubscribersOnly) {
+  SaConfig tight;  // default max_delay keeps each subscriber at its broker
+  tight.alpha = 2;
+  DynamicAssigner dyn(TwoBrokerTree(), tight, 4);
+  // Two subscribers near one broker, one near the other.
+  const int h1 = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  const int h2 = dyn.Add(MakeSub(1, 0.1, 0.1, 0.1)).value();
+  const int h3 = dyn.Add(MakeSub(-1, 0, 0.6, 0.1)).value();
+  const int leaf1 = dyn.leaf_of(h1);
+  ASSERT_EQ(dyn.leaf_of(h2), leaf1);
+  ASSERT_NE(dyn.leaf_of(h3), leaf1);
+
+  ASSERT_TRUE(dyn.FailBroker(leaf1).ok());
+  EXPECT_EQ(dyn.state(h1), SubscriberState::kOrphaned);
+  EXPECT_EQ(dyn.state(h2), SubscriberState::kOrphaned);
+  EXPECT_EQ(dyn.state(h3), SubscriberState::kLive);
+  EXPECT_EQ(dyn.leaf_of(h1), -1);
+  EXPECT_EQ(dyn.orphans(), (std::vector<int>{h1, h2}));
+  EXPECT_EQ(dyn.live_count(), 1);
+  EXPECT_EQ(dyn.population(), 3);
+}
+
+TEST(RepairEngineTest, RepairsOrphansToTheSurvivingLeaf) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
+  const int h1 = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  const int h2 = dyn.Add(MakeSub(1, 0.1, 0.2, 0.1)).value();
+  const int leaf1 = dyn.leaf_of(h1);
+  ASSERT_TRUE(dyn.FailBroker(leaf1).ok());
+
+  RepairEngine engine(&dyn);
+  const RepairReport report = engine.Repair(Deadline::Infinite());
+  EXPECT_EQ(report.orphans_seen, 2);
+  EXPECT_EQ(report.repaired, 2);
+  EXPECT_EQ(report.degraded, 0);
+  EXPECT_TRUE(dyn.orphans().empty());
+  for (int h : {h1, h2}) {
+    EXPECT_EQ(dyn.state(h), SubscriberState::kLive);
+    EXPECT_NE(dyn.leaf_of(h), leaf1);
+    EXPECT_TRUE(CoveredOnLivePath(dyn, dyn.leaf_of(h),
+                                  dyn.subscriber(h).subscription));
+  }
+}
+
+TEST(RepairEngineTest, LatencySlackRelaxationQuantifiesViolation) {
+  // Tight latency: each subscriber is only feasible at its nearby broker.
+  SaConfig config;
+  config.max_delay = 0.05;
+  config.alpha = 2;
+  DynamicAssigner dyn(TwoBrokerTree(), config, 4);
+  const int h = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  const int leaf = dyn.leaf_of(h);
+  ASSERT_TRUE(dyn.FailBroker(leaf).ok());
+
+  RepairEngine engine(&dyn);
+  const RepairReport report = engine.Repair(Deadline::Infinite());
+  EXPECT_EQ(report.degraded, 1);
+  EXPECT_EQ(dyn.state(h), SubscriberState::kDegraded);
+  EXPECT_GE(dyn.leaf_of(h), 0);
+  EXPECT_GT(dyn.violation(h).latency, 0);
+  EXPECT_FALSE(dyn.violation(h).unplaced);
+  EXPECT_DOUBLE_EQ(report.max_latency_violation, dyn.violation(h).latency);
+  // Degraded-but-placed subscribers still receive events.
+  EXPECT_TRUE(CoveredOnLivePath(dyn, dyn.leaf_of(h),
+                                dyn.subscriber(h).subscription));
+}
+
+TEST(RepairEngineTest, ParksWhenNoLiveLeafThenUndegradesAfterRecovery) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
+  const int h = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  ASSERT_TRUE(dyn.FailBroker(2).ok());
+
+  RepairOptions opts;
+  opts.backoff_base = 2;
+  RepairEngine engine(&dyn, opts);
+  RepairReport report = engine.Repair(Deadline::Infinite(), /*now=*/0);
+  EXPECT_EQ(report.degraded, 1);
+  EXPECT_EQ(dyn.state(h), SubscriberState::kDegraded);
+  EXPECT_EQ(dyn.leaf_of(h), -1);
+  EXPECT_TRUE(dyn.violation(h).unplaced);
+
+  // Before the backoff elapses the degraded subscriber is not retried.
+  report = engine.Repair(Deadline::Infinite(), /*now=*/1);
+  EXPECT_EQ(report.retried, 0);
+
+  ASSERT_TRUE(dyn.RecoverBroker(1).ok());
+  report = engine.Repair(Deadline::Infinite(), /*now=*/10);
+  EXPECT_EQ(report.retried, 1);
+  EXPECT_EQ(report.undegraded, 1);
+  EXPECT_EQ(dyn.state(h), SubscriberState::kLive);
+  EXPECT_EQ(dyn.leaf_of(h), 1);
+}
+
+TEST(RepairEngineTest, ExpiredDeadlineLeavesOrphansForNextPass) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
+  dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  dyn.Add(MakeSub(1, 0.1, 0.2, 0.1)).value();
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  const int orphans = static_cast<int>(dyn.orphans().size());
+  ASSERT_GT(orphans, 0);
+
+  RepairEngine engine(&dyn);
+  RepairReport report = engine.Repair(Deadline::After(0));
+  EXPECT_TRUE(report.deadline_expired);
+  EXPECT_EQ(report.still_orphaned, orphans);
+  EXPECT_EQ(static_cast<int>(dyn.orphans().size()), orphans);
+  // The retry half: the next (funded) pass drains the backlog.
+  report = engine.Repair(Deadline::Infinite());
+  EXPECT_EQ(report.repaired + report.degraded, orphans);
+  EXPECT_TRUE(dyn.orphans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-bounded reoptimization
+
+DynamicAssigner PopulatedAssigner(int n, uint64_t seed) {
+  Rng rng(seed);
+  DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), n);
+  for (int i = 0; i < n; ++i) {
+    dyn.Add(MakeSub(rng.Uniform(-1, 1), rng.Uniform(-2, 2),
+                    rng.Uniform(-0.9, 0.8), 0.1))
+        .value();
+  }
+  return dyn;
+}
+
+TEST(ReoptimizeDeadlineTest, ZeroDeadlineFallsBackToFeasibleGrStar) {
+  DynamicAssigner dyn = PopulatedAssigner(60, 11);
+  Rng rng(5);
+  const ReoptimizeReport report =
+      dyn.ReoptimizeWithDeadline(SlpOptions(), rng, Deadline::After(0));
+  EXPECT_TRUE(report.used_fallback);
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_EQ(report.algorithm, "Gr*");
+  // The installed deployment is complete and feasible.
+  EXPECT_EQ(dyn.live_count(), 60);
+  for (int h = 0; h < dyn.slot_count(); ++h) {
+    ASSERT_TRUE(dyn.is_occupied(h));
+    EXPECT_TRUE(CoveredOnLivePath(dyn, dyn.leaf_of(h),
+                                  dyn.subscriber(h).subscription));
+  }
+}
+
+TEST(ReoptimizeDeadlineTest, GenerousDeadlineBitIdenticalToPlainSlp) {
+  DynamicAssigner bounded = PopulatedAssigner(60, 11);
+  DynamicAssigner plain = PopulatedAssigner(60, 11);
+  SlpOptions options;
+  options.gamma = 8;  // force LP stages so the deadline path is exercised
+
+  Rng rng_a(5);
+  const ReoptimizeReport report = bounded.ReoptimizeWithDeadline(
+      options, rng_a, Deadline::After(3600));
+  EXPECT_FALSE(report.used_fallback);
+  EXPECT_EQ(report.algorithm, "SLP");
+
+  Rng rng_b(5);
+  plain.Reoptimize(
+      [&options](const SaProblem& p, Rng& r) {
+        return RunSlp(p, options, r, nullptr).value();
+      },
+      rng_b);
+
+  for (int h = 0; h < bounded.slot_count(); ++h) {
+    EXPECT_EQ(bounded.leaf_of(h), plain.leaf_of(h));
+    EXPECT_EQ(bounded.state(h), plain.state(h));
+  }
+  for (int v = 0; v < bounded.tree().num_nodes(); ++v) {
+    const auto& fa = bounded.filter(v);
+    const auto& fb = plain.filter(v);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t i = 0; i < fa.size(); ++i) {
+      for (int d = 0; d < fa[i].dim(); ++d) {
+        EXPECT_EQ(fa[i].lo(d), fb[i].lo(d));
+        EXPECT_EQ(fa[i].hi(d), fb[i].hi(d));
+      }
+    }
+  }
+  EXPECT_EQ(bounded.CurrentBandwidth(), plain.CurrentBandwidth());
+}
+
+// ---------------------------------------------------------------------------
+// Fault replay
+
+TEST(FaultPlanTest, SeededRandomIsDeterministic) {
+  const net::BrokerTree tree = TwoLevelTree();
+  Rng rng_a(9), rng_b(9);
+  const sim::FaultPlan a =
+      sim::FaultPlan::SeededRandom(tree, 500, 0.3, 100, rng_a);
+  const sim::FaultPlan b =
+      sim::FaultPlan::SeededRandom(tree, 500, 0.3, 100, rng_b);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  ASSERT_FALSE(a.events().empty());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at_event, b.events()[i].at_event);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].fail, b.events()[i].fail);
+  }
+  for (const sim::FaultEvent& e : a.events()) {
+    EXPECT_NE(e.node, net::BrokerTree::kPublisher);
+    EXPECT_GE(e.at_event, 0);
+  }
+}
+
+std::vector<Point> UniformEvents(int n, Rng& rng) {
+  std::vector<Point> events;
+  for (int i = 0; i < n; ++i) {
+    events.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  return events;
+}
+
+// The acceptance e2e: kill the most loaded leaf mid-replay; every orphan
+// must end repaired or degraded-with-quantified-violations, nothing may
+// abort, and repaired subscribers must miss nothing after repair.
+TEST(FaultReplayTest, KillTheLoadedLeafMidReplay) {
+  wl::GridParams params;
+  params.num_subscribers = 250;
+  params.num_brokers = 12;
+  params.seed = 21;
+  const wl::Workload w = wl::GenerateGrid(params);
+  Rng tree_rng(3);
+  net::BrokerTree tree =
+      net::BuildMultiLevelTree(w.publisher, w.broker_locations, 4, tree_rng);
+
+  SaConfig config;
+  config.max_delay = 2.0;
+  DynamicAssigner dyn(std::move(tree), config, params.num_subscribers);
+  for (const auto& s : w.subscribers) ASSERT_TRUE(dyn.Add(s).ok());
+
+  // The busiest leaf.
+  int victim = -1, victim_load = -1;
+  for (int leaf : dyn.tree().live_leaf_brokers()) {
+    if (dyn.load_of(leaf) > victim_load) {
+      victim_load = dyn.load_of(leaf);
+      victim = leaf;
+    }
+  }
+  ASSERT_GT(victim_load, 0);
+
+  const sim::FaultPlan plan = sim::FaultPlan::Scripted(
+      {sim::FaultEvent{150, victim, true}, sim::FaultEvent{350, victim, false}});
+  Rng event_rng(4);
+  const std::vector<Point> events = UniformEvents(500, event_rng);
+  sim::FaultReplayOptions options;
+  options.epoch_length = 100;
+  Rng rng(6);
+  const Result<sim::FaultReplayResult> replay =
+      sim::ReplayWithFaults(dyn, plan, events, options, rng);
+  ASSERT_TRUE(replay.ok()) << replay.status().message();
+  const sim::FaultReplayResult& r = replay.value();
+
+  EXPECT_EQ(r.total_orphaned, victim_load);
+  // Every orphan ended repaired or degraded (never dropped, never aborted).
+  EXPECT_EQ(r.total_repaired + r.total_degraded_placed, r.total_orphaned);
+  EXPECT_EQ(r.unrepaired_at_end, 0);
+  // Repaired (kLive) subscribers missed nothing after repair.
+  EXPECT_EQ(r.missed_live, 0);
+  EXPECT_EQ(r.stats.missed_deliveries, 0);
+  EXPECT_EQ(r.missed_degraded, 0);
+  // Immediate (infinite-budget) repair: the backlog clears the same tick.
+  ASSERT_EQ(r.time_to_repair.size(), 1u);
+  EXPECT_EQ(r.time_to_repair[0], 0);
+  EXPECT_EQ(r.missed_outage, 0);
+  ASSERT_EQ(r.epochs.size(), 5u);
+  EXPECT_GT(r.stats.deliveries, 0);
+  // Degraded survivors carry quantified violations.
+  for (int h : dyn.degraded_handles()) {
+    const DegradedViolation& v = dyn.violation(h);
+    EXPECT_TRUE(v.latency > 0 || v.load > 0 || v.unplaced);
+  }
+  // The fresh-baseline inflation is well-formed (it may be below 1: the
+  // incremental Gr placements can happen to beat a fresh Gr*).
+  EXPECT_GT(r.qt_fresh, 0);
+  EXPECT_GT(r.qt_inflation, 0);
+  EXPECT_NEAR(r.qt_inflation, r.qt_final / r.qt_fresh, 1e-12);
+}
+
+TEST(FaultReplayTest, DetectionDelayCreatesMeasuredOutage) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 8);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dyn.Add(MakeSub(1, 0.1 * i, 0.3, 0.4)).ok());
+  }
+  const int victim = dyn.leaf_of(0);
+  const sim::FaultPlan plan =
+      sim::FaultPlan::Scripted({sim::FaultEvent{10, victim, true}});
+  Rng event_rng(8);
+  const std::vector<Point> events = UniformEvents(120, event_rng);
+  sim::FaultReplayOptions options;
+  options.epoch_length = 40;
+  options.detection_delay_events = 25;
+  Rng rng(2);
+  const Result<sim::FaultReplayResult> replay =
+      sim::ReplayWithFaults(dyn, plan, events, options, rng);
+  ASSERT_TRUE(replay.ok());
+  const sim::FaultReplayResult& r = replay.value();
+  ASSERT_EQ(r.time_to_repair.size(), 1u);
+  EXPECT_GE(r.time_to_repair[0], 25);
+  // Misses during the undetected window are attributed to the outage, and
+  // live subscribers still never miss.
+  EXPECT_GT(r.missed_outage, 0);
+  EXPECT_EQ(r.missed_live, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property fuzz: random Add/Remove/fail/recover sequences
+
+TEST(RepairFuzzTest, RandomSequencesPreserveNestingAndDelivery) {
+  constexpr int kSequences = 1000;
+  constexpr int kOpsPerSequence = 14;
+  for (int seq = 0; seq < kSequences; ++seq) {
+    Rng rng(1000 + seq);
+    DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), 12);
+    RepairEngine engine(&dyn, RepairOptions{/*backoff_base=*/1, 2.0, 8});
+    std::vector<int> handles;
+
+    for (int op = 0; op < kOpsPerSequence; ++op) {
+      const int kind = static_cast<int>(rng.UniformInt(0, 9));
+      if (kind <= 4) {  // Add
+        const Result<int> h = dyn.Add(
+            MakeSub(rng.Uniform(-1, 1), rng.Uniform(-2, 2),
+                    rng.Uniform(-0.9, 0.8), rng.Uniform(0.02, 0.2)));
+        if (h.ok()) {
+          handles.push_back(h.value());
+        } else {
+          // Only legitimate when every leaf is down.
+          EXPECT_TRUE(dyn.tree().live_leaf_brokers().empty());
+        }
+      } else if (kind == 5 && !handles.empty()) {  // Remove
+        const size_t pick = rng.UniformInt(0, handles.size() - 1);
+        dyn.Remove(handles[pick]);
+        handles.erase(handles.begin() + pick);
+      } else if (kind <= 7) {  // Fail a random live broker
+        std::vector<int> live;
+        for (int v = 1; v < dyn.tree().num_nodes(); ++v) {
+          if (!dyn.tree().is_failed(v)) live.push_back(v);
+        }
+        if (!live.empty()) {
+          const int victim = live[rng.UniformInt(0, live.size() - 1)];
+          ASSERT_TRUE(dyn.FailBroker(victim).ok());
+        }
+      } else if (kind == 8) {  // Recover a random failed broker
+        std::vector<int> failed;
+        for (int v = 1; v < dyn.tree().num_nodes(); ++v) {
+          if (dyn.tree().is_failed(v)) failed.push_back(v);
+        }
+        if (!failed.empty()) {
+          const int node = failed[rng.UniformInt(0, failed.size() - 1)];
+          ASSERT_TRUE(dyn.RecoverBroker(node).ok());
+        }
+      } else {  // Repair tick
+        engine.Repair(Deadline::Infinite(), op);
+      }
+    }
+    // Drain the backlog, then check the invariants.
+    engine.Repair(Deadline::Infinite(), kOpsPerSequence + 100);
+    if (!dyn.tree().live_leaf_brokers().empty()) {
+      ASSERT_TRUE(dyn.orphans().empty()) << "seq " << seq;
+    }
+
+    std::vector<int> loads(dyn.tree().num_nodes(), 0);
+    int population = 0;
+    for (int h : handles) {
+      ASSERT_TRUE(dyn.is_occupied(h));
+      ++population;
+      const int leaf = dyn.leaf_of(h);
+      if (leaf < 0) {
+        // Only orphans and parked-degraded subscribers lack a leaf.
+        ASSERT_NE(dyn.state(h), SubscriberState::kLive) << "seq " << seq;
+        continue;
+      }
+      ASSERT_FALSE(dyn.tree().is_failed(leaf)) << "seq " << seq;
+      ++loads[leaf];
+      // Nesting/coverage: the placed subscriber's subscription is covered
+      // at every broker on its live path.
+      ASSERT_TRUE(CoveredOnLivePath(dyn, leaf, dyn.subscriber(h).subscription))
+          << "seq " << seq << " handle " << h;
+    }
+    ASSERT_EQ(population, dyn.population()) << "seq " << seq;
+    for (int leaf : dyn.tree().leaf_brokers()) {
+      ASSERT_EQ(loads[leaf], dyn.load_of(leaf)) << "seq " << seq;
+    }
+    // Delivery: non-degraded live subscribers miss nothing (the coverage
+    // walk above is the routing condition, checked pointwise here).
+    for (int e = 0; e < 5; ++e) {
+      const Point event = {rng.Uniform(-0.9, 1), rng.Uniform(-0.9, 1)};
+      for (int h : handles) {
+        if (dyn.state(h) != SubscriberState::kLive) continue;
+        if (!dyn.subscriber(h).subscription.ContainsPoint(event)) continue;
+        bool reached = true;
+        for (int v = dyn.leaf_of(h); v != net::BrokerTree::kPublisher;
+             v = dyn.tree().live_parent(v)) {
+          bool inside = false;
+          for (const Rectangle& r : dyn.filter(v)) {
+            if (r.ContainsPoint(event)) {
+              inside = true;
+              break;
+            }
+          }
+          if (!inside) {
+            reached = false;
+            break;
+          }
+        }
+        ASSERT_TRUE(reached) << "seq " << seq << " missed delivery";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slp::core
