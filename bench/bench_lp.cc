@@ -1,14 +1,18 @@
 // LP engine benchmark: sparse LU/eta revised simplex vs the legacy dense
-// basis-inverse engine, and warm-started β-escalation re-solves vs cold
-// re-solves, on LPRelax-shaped instances; plus end-to-end FilterAssign
-// throughput. Prints a table and writes BENCH_lp.json (path from argv[1] or
+// basis-inverse engine, warm-started β-escalation re-solves vs cold
+// re-solves, and the dual-simplex rung re-solve (ResolveDual) vs both, on
+// LPRelax-shaped instances; plus end-to-end FilterAssign throughput.
+// Prints tables and writes BENCH_lp.json (path from argv[1] or
 // SLP_BENCH_LP_JSON; default ./BENCH_lp.json) recording the speedups.
 //
 // The instances mimic the FilterAssign ladder's LPs: covering rows (C2),
 // per-target capacity rows with penalized slack (C3), box variables. The
 // "escalation" step is the ladder's rung change — cap rhs loosened, slack
 // penalties retuned in place — re-solved either warm (previous basis as
-// hint) or cold.
+// hint) or cold. The "dual_resolve" series tightens the caps instead
+// (rhs-only edit: the retained basis stays dual-feasible but goes primal
+// infeasible — the dual loop's home turf) and re-solves cold, primal-warm,
+// and dually.
 
 #include <algorithm>
 #include <cstdio>
@@ -105,6 +109,23 @@ Timed TimeSolve(const lp::LpProblem& p, const lp::SimplexOptions& opts,
   return out;
 }
 
+// Best-of-`reps` wall time for the dual re-solve path.
+Timed TimeResolveDual(const lp::LpProblem& p, const lp::SimplexOptions& opts,
+                      const lp::Basis& hint, int reps) {
+  Timed out;
+  out.seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    lp::LpSolution sol = lp::SimplexSolver(opts).ResolveDual(p, hint);
+    const double s = timer.Seconds();
+    if (s < out.seconds) {
+      out.seconds = s;
+      out.sol = std::move(sol);
+    }
+  }
+  return out;
+}
+
 struct ColdRow {
   int rows = 0;
   double dense_s = 0, sparse_s = 0, speedup = 0;
@@ -115,6 +136,13 @@ struct WarmRow {
   int rows = 0;
   double cold_s = 0, warm_s = 0, speedup = 0;
   int cold_pivots = 0, warm_pivots = 0;
+};
+
+struct DualRow {
+  int rows = 0;
+  double cold_s = 0, warm_s = 0, dual_s = 0;
+  int cold_pivots = 0, warm_pivots = 0, dual_pivots = 0, bound_flips = 0;
+  bool dual_used = false;
 };
 
 }  // namespace
@@ -193,6 +221,56 @@ int Main(int argc, char** argv) {
                 row.warm_s, row.speedup, row.cold_pivots, row.warm_pivots);
   }
 
+  PrintHeader("Tightened-rung re-solve: dual simplex vs primal warm vs cold");
+  std::printf("%8s %10s %10s %10s %12s %12s %12s %8s\n", "rows", "cold (s)",
+              "warm (s)", "dual (s)", "cold pivots", "warm pivots",
+              "dual pivots", "flips");
+
+  std::vector<DualRow> dual;
+  for (int rows : {100, 500, 2000}) {
+    Rng rng(300 + rows);
+    LadderLp l = MakeLadderLp(rows, rng);
+    lp::SimplexOptions opts;
+    const lp::LpSolution base = lp::SimplexSolver(opts).Solve(l.p);
+    if (base.status != lp::SolveStatus::kOptimal) {
+      std::fprintf(stderr, "base solve failed at rows=%d\n", rows);
+      return 1;
+    }
+    // Tighten the caps with the penalty unchanged: a pure rhs edit, so the
+    // retained basis stays dual-feasible while its x_B goes out of bounds.
+    // The generator's caps sit ~7x above the optimal per-target load, so
+    // the scale must cut below that slack for the rung to actually bind.
+    EscalateRung(&l, 0.1, 1e4);
+    const int reps = rows >= 2000 ? 2 : 5;
+    const Timed cold_re = TimeSolve(l.p, opts, nullptr, reps);
+    const Timed warm_re = TimeSolve(l.p, opts, &base.basis, reps);
+    const Timed dual_re = TimeResolveDual(l.p, opts, base.basis, reps);
+    const double obj = cold_re.sol.objective;
+    if (cold_re.sol.status != lp::SolveStatus::kOptimal ||
+        warm_re.sol.status != lp::SolveStatus::kOptimal ||
+        dual_re.sol.status != lp::SolveStatus::kOptimal ||
+        std::abs(warm_re.sol.objective - obj) > 1e-6 * (1 + std::abs(obj)) ||
+        std::abs(dual_re.sol.objective - obj) > 1e-6 * (1 + std::abs(obj))) {
+      std::fprintf(stderr, "dual/warm/cold disagree at rows=%d\n", rows);
+      return 1;
+    }
+    DualRow row;
+    row.rows = rows;
+    row.cold_s = cold_re.seconds;
+    row.warm_s = warm_re.seconds;
+    row.dual_s = dual_re.seconds;
+    row.cold_pivots = cold_re.sol.stats.pivots;
+    row.warm_pivots = warm_re.sol.stats.pivots;
+    row.dual_pivots = dual_re.sol.stats.pivots;
+    row.bound_flips = dual_re.sol.stats.bound_flips;
+    row.dual_used = dual_re.sol.stats.dual_used;
+    dual.push_back(row);
+    std::printf("%8d %10.4f %10.4f %10.4f %12d %12d %12d %8d%s\n", rows,
+                row.cold_s, row.warm_s, row.dual_s, row.cold_pivots,
+                row.warm_pivots, row.dual_pivots, row.bound_flips,
+                row.dual_used ? "" : "  (fell back to primal)");
+  }
+
   PrintHeader("End-to-end FilterAssign (ladder + warm re-solves inside)");
   const int subs = EnvInt("SLP_SUBS", 800);
   const int brokers = EnvInt("SLP_BROKERS", 20);
@@ -247,6 +325,19 @@ int Main(int argc, char** argv) {
                  warm[i].rows, warm[i].cold_s, warm[i].warm_s, warm[i].speedup,
                  warm[i].cold_pivots, warm[i].warm_pivots,
                  i + 1 < warm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"dual_resolve\": [\n");
+  for (size_t i = 0; i < dual.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"rows\": %d, \"cold_seconds\": %.6f, "
+                 "\"warm_seconds\": %.6f, \"dual_seconds\": %.6f, "
+                 "\"cold_pivots\": %d, \"warm_pivots\": %d, "
+                 "\"dual_pivots\": %d, \"bound_flips\": %d, "
+                 "\"dual_used\": %s}%s\n",
+                 dual[i].rows, dual[i].cold_s, dual[i].warm_s, dual[i].dual_s,
+                 dual[i].cold_pivots, dual[i].warm_pivots, dual[i].dual_pivots,
+                 dual[i].bound_flips, dual[i].dual_used ? "true" : "false",
+                 i + 1 < dual.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"filter_assign\": {\"subscribers\": %d, "

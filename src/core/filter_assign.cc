@@ -188,6 +188,13 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
 
           ++result.lp_calls;
           lp_result = model->Solve(options.lp, rng);
+          // Accumulate dual-path accounting from every solve, including the
+          // infeasible-at-β ones (those are exactly the rungs that
+          // escalate).
+          const lp::SolverStats& lp_stats = model->last_lp_stats();
+          if (lp_stats.dual_used) ++result.dual_lp_calls;
+          if (lp_stats.dual_fallback) ++result.dual_fallbacks;
+          result.dual_pivots += lp_stats.dual_pivots;
           if (lp_result.ok()) break;
           if (lp_result.status().code() != StatusCode::kInfeasible) {
             return lp_result.status();

@@ -68,6 +68,12 @@ struct FilterAssignResult {
   int lp_calls = 0;
   int iterations = 0;
   int final_g = 0;
+  // β-escalation re-solve accounting: how many LP calls completed through
+  // the dual pivot loop, how many rung re-solves fell back to the primal
+  // warm-start path, and the total dual pivots spent.
+  int dual_lp_calls = 0;
+  int dual_fallbacks = 0;
+  int dual_pivots = 0;
   // True if the LP budget (max_lp_calls or the deadline) ran out and
   // deterministic completion was used.
   bool budget_exhausted = false;

@@ -193,12 +193,22 @@ void LpRelaxModel::SetLoadRung(double beta, bool enforce_load) {
     // constraints go inert without changing the LP's shape.
     lp_.SetObj(c3.slack_var, enforce_load ? penalty_ : 0.0);
   }
+  rung_dirty_ = !c3_rows_.empty();
 }
 
 Result<LpRelaxResult> LpRelaxModel::Solve(const LpRelaxOptions& options,
                                           Rng& rng) {
-  const lp::LpSolution sol = lp::SimplexSolver(options.simplex)
-                                 .Solve(lp_, basis_.empty() ? nullptr : &basis_);
+  const lp::SimplexSolver solver(options.simplex);
+  // After a rung mutation the retained basis is the pre-mutation optimum:
+  // rhs edits leave it dual-feasible, so the dual pivot loop is the natural
+  // re-solve (ResolveDual falls back to the primal warm path on the
+  // enforce_load objective retune, which breaks dual feasibility instead).
+  const lp::LpSolution sol =
+      (rung_dirty_ && !basis_.empty())
+          ? solver.ResolveDual(lp_, basis_)
+          : solver.Solve(lp_, basis_.empty() ? nullptr : &basis_);
+  rung_dirty_ = false;
+  last_stats_ = sol.stats;
   if (sol.status == lp::SolveStatus::kInfeasible) {
     return Status::Infeasible("filter-assignment LP infeasible");
   }
@@ -211,6 +221,7 @@ Result<LpRelaxResult> LpRelaxModel::Solve(const LpRelaxOptions& options,
   basis_ = sol.basis;
 
   LpRelaxResult result;
+  result.lp_stats = sol.stats;
   // Report only the filter-volume part of the objective; surface any (C3)
   // slack as infeasibility at this β. With load enforcement off the slacks
   // are free variables, so their values are meaningless — report 0.

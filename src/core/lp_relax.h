@@ -75,6 +75,10 @@ struct LpRelaxResult {
   // had to add rectangles for uncovered subscribers.
   int rounding_attempts = 0;
   bool used_completion = false;
+  // Solver counters for this LP solve (dual_used / dual_fallback report
+  // whether a rung re-solve went through the dual pivot loop or fell back
+  // to the primal warm-start path).
+  lp::SolverStats lp_stats;
 };
 
 // One built relaxation, retained across load-rung changes. The (C3) rows
@@ -100,15 +104,31 @@ class LpRelaxModel {
 
   // Reconfigures the (C3) load rung in place: caps at `beta` (must be > 0)
   // and, when enforce_load is false, zeroes the slack penalties so the rows
-  // go inert. No-op when the model has no (C3) rows (empty Sb).
+  // go inert. No-op when the model has no (C3) rows (empty Sb). Marks the
+  // model rung-dirty: the next Solve re-solves by dual simplex from the
+  // retained basis (rhs edits keep it dual-feasible), falling back to the
+  // primal warm-start path automatically when it isn't (e.g., the
+  // enforce_load toggle retunes objective coefficients).
   void SetLoadRung(double beta, bool enforce_load);
 
-  // Solves the LP (warm-starting from the previous Solve's basis when one
-  // is retained) and rounds the fractional optimum to filters. Returns
-  // kInfeasible when the load sample cannot be balanced at the current β.
-  // The basis is retained even on that path, so the caller's escalation
-  // re-solve starts from this optimum.
+  // Solves the LP (dual re-solve after SetLoadRung, otherwise
+  // warm-starting from the previous Solve's basis when one is retained)
+  // and rounds the fractional optimum to filters. Returns kInfeasible when
+  // the load sample cannot be balanced at the current β. The basis is
+  // retained even on that path, so the caller's escalation re-solve starts
+  // from this optimum.
   Result<LpRelaxResult> Solve(const LpRelaxOptions& options, Rng& rng);
+
+  // Counters from the most recent Solve, populated even when that solve
+  // ended infeasible-at-β (LpRelaxResult::lp_stats only exists on the OK
+  // path, but the infeasible rungs are exactly the ones that escalate).
+  const lp::SolverStats& last_lp_stats() const { return last_stats_; }
+
+  // Test/bench access to the underlying LP and the retained basis, so the
+  // differential harness can replay real escalation ladders cold vs warm
+  // vs dual against the exact LPs FilterAssign solves.
+  const lp::LpProblem& lp() const { return lp_; }
+  const lp::Basis& basis() const { return basis_; }
 
  private:
   LpRelaxModel() = default;
@@ -143,6 +163,10 @@ class LpRelaxModel {
   double sa_size_ = 0;      // |Sa| at build time (rounding boost)
   bool enforce_load_ = true;
   lp::Basis basis_;         // previous optimum, warm-start hint
+  lp::SolverStats last_stats_;  // counters from the most recent Solve
+  // Set by SetLoadRung, cleared by Solve: the retained basis belongs to a
+  // pre-mutation optimum, so the next solve should continue dually.
+  bool rung_dirty_ = false;
 };
 
 // sa_rows / sb_rows index into targets.subscribers (local rows). sb_rows

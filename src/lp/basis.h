@@ -33,11 +33,18 @@ struct Basis {
     return static_cast<int>(structural.size()) == num_vars &&
            static_cast<int>(logical.size()) == num_constraints;
   }
+  // Extends the snapshot after `count` rows were appended to the problem
+  // (LpProblem::AddRows): each new row's logical variable starts basic, so
+  // the extended basis matrix gains an identity block and its duals start
+  // at zero — exactly the shape SimplexSolver::ResolveDual continues from.
+  void ExtendForNewRows(int count) {
+    logical.insert(logical.end(), count, VarStatus::kBasic);
+  }
 };
 
 // Per-solve counters exposed on LpSolution. All engines fill pivots /
 // phase1_pivots / solve_seconds; the LU-based sparse engine also reports
-// factorization and FTRAN-sparsity behavior.
+// factorization, warm-start, dual-simplex, and FTRAN-sparsity behavior.
 struct SolverStats {
   int pivots = 0;             // total pivots, both phases
   int phase1_pivots = 0;      // pivots spent reaching feasibility
@@ -47,6 +54,18 @@ struct SolverStats {
   double solve_seconds = 0;   // wall time inside Solve()
   bool warm_started = false;  // a basis hint was accepted and used
   bool warm_feasible = false; // crashed basis was primal feasible as-is
+  // Primal feasibility-restoration rounds run on a warm start whose
+  // crashed basis was out of bounds (0 when warm_feasible).
+  int warm_restoration_rounds = 0;
+  // Restoration could not reach the true bounds and the solve restarted
+  // cold (the hint was accepted but ultimately useless).
+  bool warm_fell_back_cold = false;
+  // --- dual simplex (ResolveDual) ---
+  int dual_pivots = 0;        // pivots taken by the dual pivot loop
+  int bound_flips = 0;        // nonbasic bound flips (dual ratio test +
+                              // dual-feasibility restoration)
+  bool dual_used = false;     // ResolveDual ran its dual loop to completion
+  bool dual_fallback = false; // ResolveDual fell back to the primal path
 };
 
 }  // namespace slp::lp

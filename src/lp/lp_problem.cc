@@ -21,6 +21,15 @@ int LpProblem::AddConstraint(Sense sense, double rhs) {
   return num_constraints() - 1;
 }
 
+int LpProblem::AddRows(const std::vector<RowSpec>& rows) {
+  const int first = num_constraints();
+  for (const RowSpec& spec : rows) {
+    const int r = AddConstraint(spec.sense, spec.rhs);
+    for (const auto& [col, coef] : spec.entries) AddEntry(r, col, coef);
+  }
+  return first;
+}
+
 void LpProblem::AddEntry(int row, int col, double coef) {
   SLP_CHECK(row >= 0 && row < num_constraints());
   SLP_CHECK(col >= 0 && col < num_vars());

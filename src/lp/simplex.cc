@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -588,6 +589,7 @@ class SparseTableau {
       bool feasible = CountViolations() == 0;
       stats_.warm_feasible = feasible;
       for (int round = 0; round < 3 && !feasible; ++round) {
+        ++stats_.warm_restoration_rounds;
         std::vector<SavedBound> saved;
         BoxViolators(&saved);
         RecomputeDuals();
@@ -602,8 +604,14 @@ class SparseTableau {
       }
       if (!feasible) {
         // Restoration could not reach the true bounds: discard the hint and
-        // cold-start so infeasibility is decided by the real phase 1.
+        // cold-start so infeasibility is decided by the real phase 1. Keep
+        // the warm accounting so the caller can see the hint was accepted
+        // but ultimately useless (the fallback used to be silent).
+        const SolverStats warm_trail = stats_;
         stats_ = SolverStats{};
+        stats_.warm_started = warm_trail.warm_started;
+        stats_.warm_restoration_rounds = warm_trail.warm_restoration_rounds;
+        stats_.warm_fell_back_cold = true;
         warm_ok_ = false;
         ResetModel(problem);
         InitCold(problem);
@@ -637,6 +645,42 @@ class SparseTableau {
     const SolveStatus st = Iterate(max_iters, &solution.iterations);
     solution.status = st;
     if (st != SolveStatus::kOptimal) return Finish(std::move(solution));
+
+    solution.x.assign(xval_.begin(), xval_.begin() + num_struct_);
+    solution.objective = 0;
+    for (int j = 0; j < num_struct_; ++j) {
+      solution.objective += problem.obj(j) * solution.x[j];
+    }
+    RecomputeDuals();
+    solution.duals = y_;
+    ExportBasis(&solution.basis);
+    return Finish(std::move(solution));
+  }
+
+  // Dual-simplex re-solve from the crashed hint basis. Returns nullopt when
+  // the caller should fall back to the primal warm-start path: the hint was
+  // rejected, the crashed basis is not dual-feasible (and bound flips can't
+  // make it so), the dual loop stalls or breaks down numerically, or it
+  // detects infeasibility (the primal phase 1 stays the only authority that
+  // declares a problem infeasible).
+  std::optional<LpSolution> RunDual(const LpProblem& problem) {
+    if (!warm_ok_) return std::nullopt;
+    LpSolution solution;
+    const int max_iters = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : std::max(20000, 50 * m_);
+    stats_.warm_started = true;
+    stats_.warm_feasible = CountViolations() == 0;
+    SetPhase2Costs(problem);
+    RecomputeDuals();
+    if (!RestoreDualFeasibility()) return std::nullopt;
+    stats_.dual_used = true;
+
+    const std::optional<SolveStatus> st =
+        IterateDual(max_iters, &solution.iterations);
+    if (!st.has_value()) return std::nullopt;
+    solution.status = *st;
+    if (*st != SolveStatus::kOptimal) return Finish(std::move(solution));
 
     solution.x.assign(xval_.begin(), xval_.begin() + num_struct_);
     solution.objective = 0;
@@ -1201,6 +1245,297 @@ class SparseTableau {
     }
   }
 
+  // Applies a batch of nonbasic value changes to the basic variables: the
+  // accumulated Δ(N·x_N) sits in rhs_work_ (row space); one FTRAN maps it
+  // to basis positions and x_B absorbs the negated result.
+  void ApplyNonbasicDeltas() {
+    factor_.Ftran(&rhs_work_, options_.density_threshold);
+    if (rhs_work_.dense) {
+      for (int i = 0; i < m_; ++i) {
+        if (rhs_work_.val[i] != 0) xval_[basis_[i]] -= rhs_work_.val[i];
+      }
+    } else {
+      for (int i : rhs_work_.idx) {
+        if (rhs_work_.val[i] != 0) xval_[basis_[i]] -= rhs_work_.val[i];
+      }
+    }
+  }
+
+  // Makes the current point dual-feasible for the current costs by
+  // bound-flipping nonbasic boxed variables whose reduced cost has the
+  // wrong sign (rhs edits never break dual feasibility, but objective
+  // edits and dual drift after a recompute can). Returns false when an
+  // offender has an infinite opposite bound — no flip can fix it and the
+  // caller must fall back to the primal path.
+  bool RestoreDualFeasibility() {
+    const double dtol = options_.optimality_tol;
+    rhs_work_.Clear();
+    bool flipped = false;
+    for (int j = 0; j < total_cols_; ++j) {
+      if (basic_row_[j] >= 0 || lo_[j] >= hi_[j]) continue;
+      const double d = ReducedCost(j);
+      double dx = 0;
+      if (!at_upper_[j] && d < -dtol) {
+        if (hi_[j] >= kInf) return false;
+        dx = hi_[j] - lo_[j];
+        at_upper_[j] = true;
+        xval_[j] = hi_[j];
+      } else if (at_upper_[j] && d > dtol) {
+        dx = lo_[j] - hi_[j];
+        at_upper_[j] = false;
+        xval_[j] = lo_[j];
+      } else {
+        continue;
+      }
+      ++stats_.bound_flips;
+      flipped = true;
+      for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+        rhs_work_.Add(entry_row_[p], entry_coef_[p] * dx);
+      }
+    }
+    if (flipped) ApplyNonbasicDeltas();
+    return true;
+  }
+
+  // Bounded-variable dual simplex pivot loop on the shared LU/eta kernel.
+  // Leaving row: largest primal bound violation. Entering: dual ratio test
+  // with bound-flipping (a candidate whose box can't absorb the remaining
+  // violation flips to its opposite bound and the walk continues) and a
+  // Harris-style second pass that breaks near-ties at the breakpoint by
+  // pivot magnitude. Returns nullopt whenever the primal fallback should
+  // take over: a dual ray (primal infeasible — phase 1 stays the only
+  // authority for that verdict), a stall of degenerate steps, or numerical
+  // breakdown.
+  std::optional<SolveStatus> IterateDual(int max_iters,
+                                         int* iteration_counter) {
+    struct Cand {
+      int col;
+      double ratio;
+      double alpha;
+    };
+    std::vector<Cand> cands;
+    int since_recompute = 0;
+    int since_refactor = 0;
+    int stall = 0;
+    int bad_pivots = 0;
+    bool verified = false;  // optimality confirmed with fresh values/duals
+
+    while (true) {
+      if (*iteration_counter >= max_iters) return SolveStatus::kIterationLimit;
+
+      // ---- Leaving row: largest bound violation among basic variables ----
+      const double ptol = FeasTol();
+      int r = -1;
+      double delta = 0;  // signed violation of the leaving variable
+      for (int p = 0; p < m_; ++p) {
+        const int c = basis_[p];
+        double v = 0;
+        if (xval_[c] < lo_[c] - ptol) {
+          v = xval_[c] - lo_[c];
+        } else if (xval_[c] > hi_[c] + ptol) {
+          v = xval_[c] - hi_[c];
+        }
+        if (std::abs(v) > std::abs(delta)) {
+          delta = v;
+          r = p;
+        }
+      }
+      if (r < 0) {
+        // Primal feasible. Like the primal loop, confirm on fresh numbers
+        // (and re-check dual feasibility, which drifts with the duals).
+        if (verified) return SolveStatus::kOptimal;
+        ComputeBasicValues();
+        RecomputeDuals();
+        if (!RestoreDualFeasibility()) return std::nullopt;
+        verified = true;
+        continue;
+      }
+      verified = false;
+      const double sign_r = delta > 0 ? 1.0 : -1.0;
+
+      // ---- BTRAN: rho = B^-T e_r (row space) ----
+      rho_.Clear();
+      rho_.Set(r, 1.0);
+      factor_.Btran(&rho_, options_.density_threshold);
+
+      // ---- Dual ratio test candidates: alpha_j = rho · a_j ----
+      // A candidate blocks the dual step when its reduced cost would cross
+      // zero: at-lower columns with sign_r·alpha > 0, at-upper columns with
+      // sign_r·alpha < 0, at ratio d_j / (sign_r·alpha_j) ≥ 0.
+      cands.clear();
+      for (int j = 0; j < total_cols_; ++j) {
+        if (basic_row_[j] >= 0 || lo_[j] >= hi_[j]) continue;
+        double alpha = 0;
+        for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+          alpha += rho_.val[entry_row_[p]] * entry_coef_[p];
+        }
+        const double abar = sign_r * alpha;
+        if (!at_upper_[j] && abar > options_.pivot_tol) {
+          const double d = std::max(0.0, ReducedCost(j));
+          cands.push_back({j, d / abar, alpha});
+        } else if (at_upper_[j] && abar < -options_.pivot_tol) {
+          const double d = std::min(0.0, ReducedCost(j));
+          cands.push_back({j, d / abar, alpha});
+        }
+      }
+      if (cands.empty()) return std::nullopt;  // dual ray: primal infeasible
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) { return a.ratio < b.ratio; });
+
+      // ---- BFRT walk: flip boxed candidates whose box can't absorb the
+      // remaining violation; the first that can absorbs it and enters. ----
+      double remaining = std::abs(delta);
+      size_t pick = cands.size();
+      size_t flip_end = 0;
+      for (size_t ci = 0; ci < cands.size(); ++ci) {
+        const int j = cands[ci].col;
+        const double absorb =
+            hi_[j] < kInf ? (hi_[j] - lo_[j]) * std::abs(cands[ci].alpha)
+                          : kInf;
+        if (absorb < remaining) {
+          remaining -= absorb;
+          flip_end = ci + 1;
+        } else {
+          pick = ci;
+          break;
+        }
+      }
+      // Every box exhausted with violation left over: dual ray again.
+      if (pick == cands.size()) return std::nullopt;
+      // Harris-style second pass: among near-tied ratios at the breakpoint,
+      // enter the column with the largest pivot magnitude. Skipped-over
+      // ties keep a reduced-cost violation below the tolerance window.
+      const double ratio_limit =
+          cands[pick].ratio + 1e-9 * (1 + std::abs(cands[pick].ratio));
+      size_t best = pick;
+      for (size_t ci = pick + 1; ci < cands.size(); ++ci) {
+        if (cands[ci].ratio > ratio_limit) break;
+        if (std::abs(cands[ci].alpha) > std::abs(cands[best].alpha)) best = ci;
+      }
+      const int q = cands[best].col;
+      const double alpha_q = cands[best].alpha;
+      const double d_q = ReducedCost(q);
+
+      // ---- FTRAN the entering column ----
+      w_vec_.Clear();
+      for (int p = col_start_[q]; p < col_start_[q + 1]; ++p) {
+        w_vec_.Add(entry_row_[p], entry_coef_[p]);
+      }
+      factor_.Ftran(&w_vec_, options_.density_threshold);
+      ftran_density_sum_ +=
+          static_cast<double>(w_vec_.nnz()) / std::max(1, m_);
+      ++ftran_count_;
+      const double pivot = w_vec_.val[r];
+      // The FTRAN pivot must agree with the BTRAN alpha; a decayed eta
+      // chain shows up here. Refactorize and retry once on fresh numbers.
+      if (std::abs(pivot) <= options_.pivot_tol ||
+          std::abs(pivot - alpha_q) >
+              1e-5 * (1 + std::abs(pivot) + std::abs(alpha_q))) {
+        if (++bad_pivots > 2 || since_refactor == 0) return std::nullopt;
+        Refactorize();
+        ComputeBasicValues();
+        RecomputeDuals();
+        since_refactor = 0;
+        since_recompute = 0;
+        continue;
+      }
+      bad_pivots = 0;
+
+      // ---- Apply the bound flips (batched: one FTRAN for all) ----
+      if (flip_end > 0) {
+        rhs_work_.Clear();
+        for (size_t ci = 0; ci < flip_end; ++ci) {
+          const int j = cands[ci].col;
+          const double dx = at_upper_[j] ? lo_[j] - hi_[j] : hi_[j] - lo_[j];
+          at_upper_[j] = !at_upper_[j];
+          xval_[j] = at_upper_[j] ? hi_[j] : lo_[j];
+          ++stats_.bound_flips;
+          for (int p = col_start_[j]; p < col_start_[j + 1]; ++p) {
+            rhs_work_.Add(entry_row_[p], entry_coef_[p] * dx);
+          }
+        }
+        ApplyNonbasicDeltas();
+      }
+
+      // ---- Pivot: q enters at position r; the leaving variable snaps to
+      // its violated bound. ----
+      const int lcol = basis_[r];
+      const double bound_r = sign_r > 0 ? hi_[lcol] : lo_[lcol];
+      const double theta_p = (xval_[lcol] - bound_r) / pivot;
+      auto step_visit = [&](int i, double wi) {
+        xval_[basis_[i]] -= theta_p * wi;
+      };
+      if (w_vec_.dense) {
+        for (int i = 0; i < m_; ++i) {
+          if (w_vec_.val[i] != 0) step_visit(i, w_vec_.val[i]);
+        }
+      } else {
+        for (int i : w_vec_.idx) {
+          if (w_vec_.val[i] != 0) step_visit(i, w_vec_.val[i]);
+        }
+      }
+      xval_[q] = (at_upper_[q] ? hi_[q] : lo_[q]) + theta_p;
+      xval_[lcol] = bound_r;
+      at_upper_[lcol] = sign_r > 0;
+      basis_[r] = q;
+      basic_row_[q] = r;
+      basic_row_[lcol] = -1;
+
+      factor_.AppendEta(w_vec_, r);
+      stats_.max_eta_length =
+          std::max(stats_.max_eta_length, factor_.eta_count());
+
+      // ---- Dual update: y += (d_q / alpha_q) · rho, the step that zeroes
+      // the entering column's reduced cost. ----
+      const double tstep = d_q / alpha_q;
+      if (rho_.dense) {
+        for (int k = 0; k < m_; ++k) y_[k] += tstep * rho_.val[k];
+      } else {
+        for (int k : rho_.idx) y_[k] += tstep * rho_.val[k];
+      }
+
+      ++(*iteration_counter);
+      ++stats_.dual_pivots;
+      ++since_recompute;
+      ++since_refactor;
+
+      // Degenerate dual steps make no progress; a long run of them means
+      // the max-infeasibility rule is cycling — let the primal path (with
+      // its Bland safeguard) finish instead.
+      if (std::abs(tstep) <= 1e-12) {
+        if (++stall > options_.stall_threshold) return std::nullopt;
+      } else {
+        stall = 0;
+      }
+
+      // ---- Housekeeping (same triggers as the primal loop) ----
+      const bool need_refactor =
+          since_refactor > 0 &&
+          (factor_.eta_count() >= options_.max_eta ||
+           factor_.eta_nnz() >
+               options_.eta_fill_factor * factor_.lu_nnz() ||
+           since_refactor >= options_.refactor_interval);
+      if (need_refactor) {
+        Refactorize();
+        ComputeBasicValues();
+        RecomputeDuals();
+        if (!RestoreDualFeasibility()) return std::nullopt;
+        since_refactor = 0;
+        since_recompute = 0;
+      } else if (since_recompute >= options_.recompute_interval) {
+        const double resid = ComputeBasicValues();
+        if (resid > 1e-6 * (1 + rhs_norm_) && since_refactor > 0) {
+          Refactorize();
+          ComputeBasicValues();
+          since_refactor = 0;
+        }
+        RecomputeDuals();
+        if (!RestoreDualFeasibility()) return std::nullopt;
+        since_recompute = 0;
+      }
+    }
+  }
+
   const SimplexOptions options_;
   const int m_;  // rows
 
@@ -1253,6 +1588,29 @@ LpSolution SimplexSolver::Solve(const LpProblem& problem,
     solution = tableau.Run(problem);
   }
   solution.stats.pivots = solution.iterations;
+  solution.stats.solve_seconds = timer.Seconds();
+  return solution;
+}
+
+LpSolution SimplexSolver::ResolveDual(const LpProblem& problem,
+                                      const Basis& hint) const {
+  SLP_CHECK(problem.num_constraints() > 0);
+  SLP_CHECK(problem.num_vars() > 0);
+  WallTimer timer;
+  if (!options_.use_dense_engine && !hint.empty() &&
+      hint.CompatibleWith(problem.num_vars(), problem.num_constraints())) {
+    SparseTableau tableau(problem, options_, &hint);
+    std::optional<LpSolution> solution = tableau.RunDual(problem);
+    if (solution.has_value()) {
+      solution->stats.pivots = solution->iterations;
+      solution->stats.solve_seconds = timer.Seconds();
+      return *std::move(solution);
+    }
+  }
+  // Primal fallback: warm-start from the hint (the dense engine ignores
+  // hints and cold-starts). Never a correctness risk, only a slower path.
+  LpSolution solution = Solve(problem, &hint);
+  solution.stats.dual_fallback = true;
   solution.stats.solve_seconds = timer.Seconds();
   return solution;
 }

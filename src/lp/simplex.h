@@ -22,6 +22,16 @@
 //    dense basis inverse. It is retained as the cross-check reference for
 //    the stress tests and as the baseline the LP benchmarks compare
 //    against; it ignores warm-start hints.
+//
+// On top of the primal loop, ResolveDual() runs a bounded-variable dual
+// simplex on the same LU/eta kernel. It is the re-solve engine for edits
+// that keep a basis dual-feasible but break primal feasibility — rhs
+// changes (the FilterAssign load rungs) and appended rows
+// (LpProblem::AddRows + Basis::ExtendForNewRows). When the hint is not
+// dual-feasible (e.g., after objective edits) or dual pivoting runs into
+// numerical trouble, it falls back to the primal warm-start path — like
+// warm starts, the dual engine is an accelerator, never a correctness
+// risk (stats.dual_fallback reports the path taken).
 
 #ifndef SLP_LP_SIMPLEX_H_
 #define SLP_LP_SIMPLEX_H_
@@ -97,6 +107,15 @@ class SimplexSolver {
   // `problem`, seeds the starting basis (sparse engine only); otherwise
   // the solver cold-starts with the usual two-phase method.
   LpSolution Solve(const LpProblem& problem, const Basis* hint) const;
+
+  // Re-solves `problem` by dual simplex starting from `hint` (typically
+  // the previous optimum of the same problem before rhs edits or row
+  // additions). Falls back to Solve(problem, &hint) — the primal
+  // warm-start path — when the hint is rejected, is not dual-feasible
+  // after bound flips, or the dual loop hits numerical trouble; the
+  // returned stats report dual_used / dual_fallback. With the dense
+  // engine selected this is always the fallback path.
+  LpSolution ResolveDual(const LpProblem& problem, const Basis& hint) const;
 
  private:
   SimplexOptions options_;

@@ -1,0 +1,688 @@
+// Randomized LP differential-testing harness — the correctness gate for
+// the dual simplex engine (SimplexSolver::ResolveDual) and the LU repair
+// path it leans on.
+//
+// Every family cross-checks three independent solution paths on seeded
+// random instances: the legacy dense basis-inverse engine, the sparse
+// primal engine (cold and warm-started), and the dual re-solve. Agreement
+// is demanded on classification and objective, and every claimed optimum
+// must additionally pass an engine-independent KKT certificate (primal
+// feasibility, reduced-cost sign vs bound complementarity, row-dual signs
+// vs row tightness, and a near-zero duality gap) — so a bug that made two
+// engines wrong in the same way would still have to forge a valid
+// primal/dual certificate to slip through.
+//
+// Families: general boxed LPs, degenerate assignment polytopes, infeasible
+// and unbounded instances, rank-deficient rows/columns, rhs "rung"
+// perturbations in both directions, row additions continued dually, LU
+// unit-column repair fuzzing, and escalation ladders replayed from the
+// exact LPs FilterAssign builds on the three paper workload generators.
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/candidates.h"
+#include "src/core/filter_gen.h"
+#include "src/core/lp_relax.h"
+#include "src/core/problem.h"
+#include "src/lp/basis.h"
+#include "src/lp/lp_problem.h"
+#include "src/lp/lu_factor.h"
+#include "src/lp/simplex.h"
+#include "src/network/tree_builder.h"
+#include "src/workload/rss.h"
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace slp {
+namespace {
+
+using lp::Basis;
+using lp::LpProblem;
+using lp::LpSolution;
+using lp::Sense;
+using lp::SimplexOptions;
+using lp::SimplexSolver;
+using lp::SolveStatus;
+using lp::kInfinity;
+
+constexpr double kTol = 1e-6;
+
+void ExpectFeasibleLp(const LpProblem& p, const std::vector<double>& x) {
+  ASSERT_EQ(static_cast<int>(x.size()), p.num_vars());
+  for (int j = 0; j < p.num_vars(); ++j) {
+    EXPECT_GE(x[j], p.lo(j) - kTol) << "var " << j;
+    EXPECT_LE(x[j], p.hi(j) + kTol) << "var " << j;
+  }
+  const std::vector<double> lhs = p.EvaluateRows(x);
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    switch (p.sense(i)) {
+      case Sense::kLessEqual:
+        EXPECT_LE(lhs[i], p.rhs(i) + kTol) << "row " << i;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_GE(lhs[i], p.rhs(i) - kTol) << "row " << i;
+        break;
+      case Sense::kEqual:
+        EXPECT_NEAR(lhs[i], p.rhs(i), kTol) << "row " << i;
+        break;
+    }
+  }
+}
+
+// Engine-independent optimality certificate. Only uses the problem data and
+// the reported (x, duals), never any engine internals, so it judges the
+// dense, primal-sparse, and dual paths by the same yardstick:
+//  * primal feasibility (bounds + rows);
+//  * reduced cost d_j = c_j - y·a_j: d_j > 0 forces x_j to its lower
+//    bound, d_j < 0 forces it to its (finite) upper bound;
+//  * row duals: <= rows need y_i <= 0, >= rows need y_i >= 0, and a
+//    nonzero y_i needs the row tight (complementary slackness);
+//  * duality gap: c·x = y·b + Σ_j d_j·x_j up to tolerance.
+void ExpectKkt(const LpProblem& p, const LpSolution& sol) {
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  ASSERT_EQ(static_cast<int>(sol.duals.size()), p.num_constraints());
+  ExpectFeasibleLp(p, sol.x);
+
+  const LpProblem::Columns cols = p.BuildColumns();
+  const double dtol = 1e-5;
+  double dual_obj = 0;
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    dual_obj += sol.duals[i] * p.rhs(i);
+  }
+  for (int j = 0; j < p.num_vars(); ++j) {
+    double d = p.obj(j);
+    for (int e = cols.col_start[j]; e < cols.col_start[j + 1]; ++e) {
+      d -= sol.duals[cols.row[e]] * cols.coef[e];
+    }
+    const double scale = 1 + std::abs(p.obj(j));
+    if (d > dtol * scale) {
+      EXPECT_NEAR(sol.x[j], p.lo(j), 1e-5) << "var " << j << " d=" << d;
+    } else if (d < -dtol * scale) {
+      ASSERT_LT(p.hi(j), kInfinity) << "var " << j << " d=" << d;
+      EXPECT_NEAR(sol.x[j], p.hi(j), 1e-5) << "var " << j << " d=" << d;
+    }
+    dual_obj += d * sol.x[j];
+  }
+  const std::vector<double> lhs = p.EvaluateRows(sol.x);
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    const double y = sol.duals[i];
+    switch (p.sense(i)) {
+      case Sense::kLessEqual:
+        EXPECT_LE(y, dtol) << "row " << i;
+        if (y < -dtol) EXPECT_NEAR(lhs[i], p.rhs(i), 1e-5) << "row " << i;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_GE(y, -dtol) << "row " << i;
+        if (y > dtol) EXPECT_NEAR(lhs[i], p.rhs(i), 1e-5) << "row " << i;
+        break;
+      case Sense::kEqual:
+        break;
+    }
+  }
+  EXPECT_NEAR(dual_obj, sol.objective, 1e-4 * (1 + std::abs(sol.objective)));
+}
+
+// Solves p by every independent path — dense cold, sparse cold, and (when
+// `hint` is given) dual re-solve plus primal warm re-solve — and demands
+// identical classification, matching objectives, and a KKT certificate
+// from each optimum. Returns the dual solution when a hint was given (so
+// callers can inspect stats.dual_used), the sparse one otherwise.
+LpSolution Differential(const LpProblem& p, const Basis* hint,
+                        SimplexOptions base = {}) {
+  SimplexOptions sparse_opts = base;
+  sparse_opts.use_dense_engine = false;
+  SimplexOptions dense_opts = base;
+  dense_opts.use_dense_engine = true;
+
+  const LpSolution sparse = SimplexSolver(sparse_opts).Solve(p);
+  const LpSolution dense = SimplexSolver(dense_opts).Solve(p);
+  EXPECT_EQ(sparse.status, dense.status)
+      << "sparse=" << ToString(sparse.status)
+      << " dense=" << ToString(dense.status);
+  if (sparse.status == SolveStatus::kOptimal &&
+      dense.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                kTol * (1 + std::abs(sparse.objective)));
+    ExpectKkt(p, sparse);
+    ExpectKkt(p, dense);
+  }
+  if (hint == nullptr) return sparse;
+
+  const LpSolution dual = SimplexSolver(sparse_opts).ResolveDual(p, *hint);
+  const LpSolution warm = SimplexSolver(sparse_opts).Solve(p, hint);
+  EXPECT_EQ(dual.status, sparse.status)
+      << "dual=" << ToString(dual.status)
+      << " cold=" << ToString(sparse.status);
+  EXPECT_EQ(warm.status, sparse.status);
+  if (sparse.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(dual.objective, sparse.objective,
+                kTol * (1 + std::abs(sparse.objective)));
+    EXPECT_NEAR(warm.objective, sparse.objective,
+                kTol * (1 + std::abs(sparse.objective)));
+    ExpectKkt(p, dual);
+    ExpectKkt(p, warm);
+  }
+  return dual;
+}
+
+// --- instance generators (seeded; every family deterministic) -------------
+
+LpProblem RandomBoxedLp(Rng& rng, int n, int m, double density) {
+  LpProblem p;
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.Bernoulli(0.25) ? rng.Uniform(-1, 1) : 0.0;
+    p.AddVariable(rng.Uniform(-5, 5), lo, lo + rng.Uniform(0.5, 4));
+  }
+  for (int i = 0; i < m; ++i) {
+    const int pick = static_cast<int>(rng.UniformInt(0, 2));
+    const Sense s = pick == 0   ? Sense::kLessEqual
+                    : pick == 1 ? Sense::kGreaterEqual
+                                : Sense::kEqual;
+    const int r = p.AddConstraint(s, rng.Uniform(-2, 6));
+    int placed = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(density)) {
+        p.AddEntry(r, j, std::round(rng.Uniform(-3, 3)));
+        ++placed;
+      }
+    }
+    if (placed == 0) {
+      p.AddEntry(r, static_cast<int>(rng.UniformInt(0, n - 1)), 1);
+    }
+  }
+  return p;
+}
+
+// Guaranteed-feasible covering LP (x = 1 satisfies every >= row).
+LpProblem RandomCoveringLp(Rng& rng, int n, int m, double density) {
+  LpProblem p;
+  for (int j = 0; j < n; ++j) p.AddVariable(rng.Uniform(0.1, 2), 0, 1);
+  for (int i = 0; i < m; ++i) {
+    const int r = p.AddConstraint(Sense::kGreaterEqual, 0);
+    double row_sum = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(density)) {
+        const double a = rng.Uniform(0.2, 2);
+        p.AddEntry(r, j, a);
+        row_sum += a;
+      }
+    }
+    if (row_sum == 0) {
+      p.AddEntry(r, static_cast<int>(rng.UniformInt(0, n - 1)), 1);
+      row_sum = 1;
+    }
+    p.SetRhs(r, rng.Uniform(0.2, 0.8) * row_sum);
+  }
+  return p;
+}
+
+// n x n assignment polytope with integer costs: every vertex has 2n tight
+// rows for n^2 variables, so pivots are massively degenerate.
+LpProblem DegenerateAssignmentLp(Rng& rng, int n) {
+  LpProblem p;
+  std::vector<std::vector<int>> v(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      v[i][j] = p.AddVariable(std::round(rng.Uniform(1, 9)), 0, 1);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int r = p.AddConstraint(Sense::kEqual, 1);
+    for (int j = 0; j < n; ++j) p.AddEntry(r, v[i][j], 1);
+  }
+  for (int j = 0; j < n; ++j) {
+    const int r = p.AddConstraint(Sense::kEqual, 1);
+    for (int i = 0; i < n; ++i) p.AddEntry(r, v[i][j], 1);
+  }
+  return p;
+}
+
+// Boxed LP plus one row that contradicts a variable's upper bound.
+LpProblem RandomInfeasibleLp(Rng& rng, int n, int m) {
+  LpProblem p = RandomBoxedLp(rng, n, m, rng.Uniform(0.2, 0.6));
+  const int j = static_cast<int>(rng.UniformInt(0, n - 1));
+  const int r = p.AddConstraint(Sense::kGreaterEqual,
+                                p.hi(j) + rng.Uniform(0.5, 3));
+  p.AddEntry(r, j, 1);
+  return p;
+}
+
+// Covering LP plus an unbounded ray: a column with negative cost, infinite
+// upper bound, and nonnegative entries only in >= rows — pushing it up
+// only helps feasibility while driving the objective to -inf.
+LpProblem RandomUnboundedLp(Rng& rng, int n, int m) {
+  LpProblem p = RandomCoveringLp(rng, n, m, rng.Uniform(0.1, 0.4));
+  const int z = p.AddVariable(-1, 0, kInfinity);
+  for (int i = 0; i < m; ++i) {
+    if (rng.Bernoulli(0.5)) p.AddEntry(i, z, rng.Uniform(0.1, 1));
+  }
+  return p;
+}
+
+// Boxed LP with duplicated rows, duplicated columns, and an empty row —
+// the factorization must repair or avoid the dependent columns without
+// ever corrupting the answer.
+LpProblem RandomRankDeficientLp(Rng& rng, int n, int m) {
+  LpProblem p = RandomBoxedLp(rng, n, m, rng.Uniform(0.2, 0.5));
+  const LpProblem::Columns cols = p.BuildColumns();
+  // Duplicate two random columns (same entries, same bounds, same cost).
+  for (int copies = 0; copies < 2; ++copies) {
+    const int j = static_cast<int>(rng.UniformInt(0, n - 1));
+    const int dup = p.AddVariable(p.obj(j), p.lo(j), p.hi(j));
+    for (int e = cols.col_start[j]; e < cols.col_start[j + 1]; ++e) {
+      p.AddEntry(cols.row[e], dup, cols.coef[e]);
+    }
+  }
+  // Duplicate a random row verbatim (linearly dependent constraints).
+  const int src = static_cast<int>(rng.UniformInt(0, m - 1));
+  std::vector<std::pair<int, double>> row_entries;
+  for (int j = 0; j < n; ++j) {
+    for (int e = cols.col_start[j]; e < cols.col_start[j + 1]; ++e) {
+      if (cols.row[e] == src) row_entries.emplace_back(j, cols.coef[e]);
+    }
+  }
+  p.AddRows({{p.sense(src), p.rhs(src), row_entries}});
+  // An empty (trivially satisfiable) row: zero coefficients merge away.
+  const int empty = p.AddConstraint(Sense::kLessEqual, 1);
+  p.AddEntry(empty, 0, 0.0);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Cold differential sweeps: dense vs sparse vs KKT per family.
+// ---------------------------------------------------------------------------
+
+TEST(LpDifferentialTest, BoxedFamilyAgrees) {
+  for (int seed = 0; seed < 100; ++seed) {
+    Rng rng(10'000 + seed);
+    const int n = 5 + static_cast<int>(rng.UniformInt(0, 55));
+    const int m = 3 + static_cast<int>(rng.UniformInt(0, std::min(n, 27)));
+    const LpProblem p = RandomBoxedLp(rng, n, m, rng.Uniform(0.1, 0.8));
+    Differential(p, nullptr);
+  }
+}
+
+TEST(LpDifferentialTest, DegenerateFamilyAgrees) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(20'000 + seed);
+    const int n = 4 + static_cast<int>(rng.UniformInt(0, 4));
+    const LpProblem p = DegenerateAssignmentLp(rng, n);
+    SimplexOptions opts;
+    opts.stall_threshold = 4;  // exercise the anti-cycling safeguards
+    Differential(p, nullptr, opts);
+  }
+}
+
+TEST(LpDifferentialTest, InfeasibleFamilyAgrees) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(30'000 + seed);
+    const int n = 5 + static_cast<int>(rng.UniformInt(0, 25));
+    const int m = 3 + static_cast<int>(rng.UniformInt(0, 15));
+    const LpProblem p = RandomInfeasibleLp(rng, n, m);
+    const LpSolution sol = Differential(p, nullptr);
+    EXPECT_EQ(sol.status, SolveStatus::kInfeasible) << "seed " << seed;
+  }
+}
+
+TEST(LpDifferentialTest, UnboundedFamilyAgrees) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(40'000 + seed);
+    const int n = 5 + static_cast<int>(rng.UniformInt(0, 25));
+    const int m = 3 + static_cast<int>(rng.UniformInt(0, 15));
+    const LpProblem p = RandomUnboundedLp(rng, n, m);
+    const LpSolution sol = Differential(p, nullptr);
+    EXPECT_EQ(sol.status, SolveStatus::kUnbounded) << "seed " << seed;
+  }
+}
+
+TEST(LpDifferentialTest, RankDeficientFamilyAgrees) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(50'000 + seed);
+    const int n = 5 + static_cast<int>(rng.UniformInt(0, 25));
+    const int m = 3 + static_cast<int>(rng.UniformInt(0, 15));
+    const LpProblem p = RandomRankDeficientLp(rng, n, m);
+    Differential(p, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dual re-solve sweeps: rhs rungs, warm-vs-cold-vs-dual agreement.
+// ---------------------------------------------------------------------------
+
+// Random rhs perturbations in both directions. Tightening a row generally
+// knocks the old basis primal-infeasible (the dual loop's home turf);
+// loosening can too — any rhs change moves x_B = B^-1 b.
+TEST(LpDifferentialTest, RungPerturbedResolvesAgree) {
+  int dual_engaged = 0;
+  for (int seed = 0; seed < 60; ++seed) {
+    Rng rng(60'000 + seed);
+    LpProblem p = RandomCoveringLp(rng, 40 + seed % 40, 20 + seed % 20, 0.15);
+    const LpSolution base = SimplexSolver().Solve(p);
+    ASSERT_EQ(base.status, SolveStatus::kOptimal) << "seed " << seed;
+    for (int i = 0; i < p.num_constraints(); ++i) {
+      if (rng.Bernoulli(0.4)) p.SetRhs(i, p.rhs(i) * rng.Uniform(0.7, 1.4));
+    }
+    const LpSolution dual = Differential(p, &base.basis);
+    if (dual.stats.dual_used && !dual.stats.dual_fallback) ++dual_engaged;
+  }
+  // The point of the sweep is to exercise the dual loop, not its fallback;
+  // most perturbed instances must actually go through dual pivoting.
+  EXPECT_GT(dual_engaged, 30);
+}
+
+// Chained rungs: each step re-solves from the previous rung's basis, like
+// the FilterAssign escalation ladder (tighten, tighten, loosen).
+TEST(LpDifferentialTest, ChainedRungLaddersStayExact) {
+  int dual_pivots_total = 0;
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(70'000 + seed);
+    LpProblem p = RandomCoveringLp(rng, 60, 30, 0.12);
+    LpSolution prev = SimplexSolver().Solve(p);
+    ASSERT_EQ(prev.status, SolveStatus::kOptimal) << "seed " << seed;
+    for (const double scale : {1.15, 1.25, 0.9}) {
+      // Covering rows are >=: raising rhs tightens, lowering loosens.
+      for (int i = 0; i < p.num_constraints(); ++i) {
+        p.SetRhs(i, p.rhs(i) * scale);
+      }
+      const LpSolution dual = Differential(p, &prev.basis);
+      dual_pivots_total += dual.stats.dual_pivots;
+      if (dual.status != SolveStatus::kOptimal) break;
+      prev = dual;  // chain: next rung starts from the dual optimum
+    }
+  }
+  EXPECT_GT(dual_pivots_total, 0);
+}
+
+// An objective edit breaks dual feasibility; ResolveDual must notice and
+// fall back to the primal warm path rather than return garbage.
+TEST(LpDifferentialTest, ObjectiveEditFallsBackToPrimal) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(80'000 + seed);
+    LpProblem p = RandomCoveringLp(rng, 50, 25, 0.15);
+    const LpSolution base = SimplexSolver().Solve(p);
+    ASSERT_EQ(base.status, SolveStatus::kOptimal);
+    for (int j = 0; j < p.num_vars(); ++j) {
+      if (rng.Bernoulli(0.3)) p.SetObj(j, p.obj(j) + rng.Uniform(-1.5, 1.5));
+    }
+    Differential(p, &base.basis);
+  }
+}
+
+// A rung that makes the LP infeasible: the dual path must classify it
+// exactly like the cold primal (phase 1 stays the only infeasibility
+// authority — the dual loop hands over instead of declaring it itself).
+TEST(LpDifferentialTest, RungIntoInfeasibilityClassifiesLikeCold) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(90'000 + seed);
+    LpProblem p = RandomCoveringLp(rng, 30, 15, 0.2);
+    const LpSolution base = SimplexSolver().Solve(p);
+    ASSERT_EQ(base.status, SolveStatus::kOptimal);
+    // Push one covering row's demand beyond what x <= 1 can supply.
+    const int i = static_cast<int>(rng.UniformInt(0, p.num_constraints() - 1));
+    double row_sum = 0;
+    const LpProblem::Columns cols = p.BuildColumns();
+    for (int j = 0; j < p.num_vars(); ++j) {
+      for (int e = cols.col_start[j]; e < cols.col_start[j + 1]; ++e) {
+        if (cols.row[e] == i) row_sum += std::abs(cols.coef[e]);
+      }
+    }
+    p.SetRhs(i, row_sum + 1);
+    const LpSolution sol = Differential(p, &base.basis);
+    EXPECT_EQ(sol.status, SolveStatus::kInfeasible) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row addition: AddRows + ExtendForNewRows + dual continuation.
+// ---------------------------------------------------------------------------
+
+TEST(LpDifferentialTest, AddedRowsContinueDually) {
+  int dual_engaged = 0;
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(100'000 + seed);
+    LpProblem p = RandomCoveringLp(rng, 50, 25, 0.15);
+    const LpSolution base = SimplexSolver().Solve(p);
+    ASSERT_EQ(base.status, SolveStatus::kOptimal) << "seed " << seed;
+
+    // New rows over the old optimum: <= cuts (binding when margin < 0),
+    // a >= row, and an equality pinned near the current activity.
+    std::vector<LpProblem::RowSpec> rows;
+    for (int k = 0; k < 3; ++k) {
+      LpProblem::RowSpec spec;
+      double activity = 0;
+      for (int j = 0; j < p.num_vars(); ++j) {
+        if (rng.Bernoulli(0.2)) {
+          const double a = rng.Uniform(0.2, 1.5);
+          spec.entries.emplace_back(j, a);
+          activity += a * base.x[j];
+        }
+      }
+      if (spec.entries.empty()) spec.entries.emplace_back(0, 1.0);
+      if (k == 0) {
+        spec.sense = Sense::kLessEqual;  // cut off the current optimum
+        spec.rhs = activity - rng.Uniform(0.0, 0.3);
+      } else if (k == 1) {
+        spec.sense = Sense::kGreaterEqual;
+        spec.rhs = activity - rng.Uniform(0.0, 0.5);
+      } else {
+        spec.sense = Sense::kEqual;
+        spec.rhs = activity;
+      }
+      rows.push_back(std::move(spec));
+    }
+    p.AddRows(rows);
+    Basis extended = base.basis;
+    extended.ExtendForNewRows(static_cast<int>(rows.size()));
+    ASSERT_TRUE(extended.CompatibleWith(p.num_vars(), p.num_constraints()));
+    const LpSolution dual = Differential(p, &extended);
+    if (dual.stats.dual_used && !dual.stats.dual_fallback) ++dual_engaged;
+  }
+  EXPECT_GT(dual_engaged, 15);
+}
+
+// ---------------------------------------------------------------------------
+// LU unit-column repair fuzz: singular / near-singular bases must
+// refactorize-or-report, never leak NaN into FTRAN/BTRAN.
+// ---------------------------------------------------------------------------
+
+TEST(LpDifferentialTest, LuRepairFuzzNeverProducesNan) {
+  for (int seed = 0; seed < 60; ++seed) {
+    Rng rng(110'000 + seed);
+    const int m = 4 + static_cast<int>(rng.UniformInt(0, 28));
+    const int n = 2 * m;
+
+    // Random CSC matrix, then sabotage: duplicated columns, zero columns,
+    // and near-duplicates (rank-deficient up to round-off).
+    std::vector<int> col_start{0};
+    std::vector<int> row;
+    std::vector<double> coef;
+    std::vector<int> kind(n, 0);  // 0 normal, 1 zero, 2 dup, 3 near-dup
+    for (int j = 0; j < n; ++j) {
+      if (j > 0 && rng.Bernoulli(0.15)) {
+        kind[j] = 1 + static_cast<int>(rng.UniformInt(0, 2));
+      }
+      if (kind[j] == 1) {  // zero column
+        col_start.push_back(static_cast<int>(row.size()));
+        continue;
+      }
+      if (kind[j] >= 2) {  // (near-)duplicate of the previous column
+        for (int e = col_start[j - 1]; e < col_start[j]; ++e) {
+          row.push_back(row[e]);
+          coef.push_back(coef[e] +
+                         (kind[j] == 3 ? rng.Uniform(-1e-13, 1e-13) : 0.0));
+        }
+        col_start.push_back(static_cast<int>(row.size()));
+        continue;
+      }
+      for (int i = 0; i < m; ++i) {
+        if (rng.Bernoulli(0.3)) {
+          row.push_back(i);
+          coef.push_back(rng.Uniform(-2, 2));
+        }
+      }
+      col_start.push_back(static_cast<int>(row.size()));
+    }
+
+    std::vector<int> basis_cols(m);
+    for (int p_ = 0; p_ < m; ++p_) {
+      basis_cols[p_] = static_cast<int>(rng.UniformInt(0, n - 1));
+    }
+
+    lp::BasisFactorization factor;
+    const auto repairs =
+        factor.Factorize(col_start, row, coef, basis_cols, m, 1e-12);
+    // A repaired basis is still a basis: both solves must stay finite on
+    // random right-hand sides, including sparse ones.
+    for (int probe = 0; probe < 3; ++probe) {
+      lp::ScatterVec v;
+      v.Resize(m);
+      const int nnz = 1 + static_cast<int>(rng.UniformInt(0, m - 1));
+      for (int k = 0; k < nnz; ++k) {
+        v.Add(static_cast<int>(rng.UniformInt(0, m - 1)), rng.Uniform(-3, 3));
+      }
+      if (probe % 2 == 0) {
+        factor.Ftran(&v, 0.25);
+      } else {
+        factor.Btran(&v, 0.25);
+      }
+      for (int i = 0; i < m; ++i) {
+        ASSERT_TRUE(std::isfinite(v.val[i]))
+            << "seed " << seed << " repairs=" << repairs.size() << " i=" << i;
+      }
+    }
+
+    // End-to-end: a solver fed a hint whose basic set is degenerate in the
+    // same ways (duplicate basic columns) must repair internally and still
+    // match a cold solve.
+    Rng rng2(120'000 + seed);
+    const LpProblem lp_prob = RandomCoveringLp(rng2, 30, 15, 0.2);
+    Basis hint;
+    hint.structural.assign(lp_prob.num_vars(), lp::VarStatus::kAtLower);
+    hint.logical.assign(lp_prob.num_constraints(), lp::VarStatus::kAtLower);
+    int made_basic = 0;
+    while (made_basic < lp_prob.num_constraints()) {
+      // Intentionally allows duplicate-looking / dependent selections.
+      const int j = static_cast<int>(rng2.UniformInt(
+          0, lp_prob.num_vars() / 4));  // narrow pool -> dependent columns
+      if (hint.structural[j] != lp::VarStatus::kBasic) {
+        hint.structural[j] = lp::VarStatus::kBasic;
+      } else {
+        hint.logical[made_basic % lp_prob.num_constraints()] =
+            lp::VarStatus::kBasic;
+      }
+      ++made_basic;
+    }
+    const LpSolution warm = SimplexSolver().Solve(lp_prob, &hint);
+    const LpSolution cold = SimplexSolver().Solve(lp_prob);
+    ASSERT_EQ(warm.status, cold.status);
+    if (cold.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, kTol);
+      for (const double x : warm.x) ASSERT_TRUE(std::isfinite(x));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FilterAssign escalation ladders: the exact LPs + rung sequence the core
+// pipeline produces, replayed cold vs warm-primal vs dual, on all three
+// paper workload generators (satellite property test).
+// ---------------------------------------------------------------------------
+
+core::SaProblem SmallRssProblem(int subs, int brokers, core::SaConfig config,
+                                uint64_t seed) {
+  wl::RssParams params;
+  params.num_subscribers = subs;
+  params.num_brokers = brokers;
+  params.num_locations = 6;
+  params.seed = seed;
+  wl::Workload w = wl::GenerateRss(params);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  return core::SaProblem(std::move(tree), std::move(w.subscribers), config);
+}
+
+TEST(LpDifferentialTest, FilterAssignLaddersAgreeColdWarmDual) {
+  const SimplexSolver solver;
+  int ladders = 0;
+  int rungs_checked = 0;
+  int dual_engaged = 0;
+  for (int ladder = 0; ladder < 200; ++ladder) {
+    core::SaConfig config;
+    config.beta = 1.3;
+    config.beta_max = 1.8;
+    const int subs = 30 + ladder % 41;
+    const uint64_t seed = 1000 + ladder;
+    core::SaProblem problem =
+        ladder % 3 == 0   ? test::SmallGridProblem(subs, 5, config, seed)
+        : ladder % 3 == 1 ? test::SmallGgProblem(subs, 5, config, seed)
+                          : SmallRssProblem(subs, 5, config, seed);
+    core::Targets targets =
+        core::BuildLeafTargets(problem, core::AllSubscribers(problem));
+    std::vector<int> all_rows(targets.subscribers.size());
+    for (size_t i = 0; i < all_rows.size(); ++i) {
+      all_rows[i] = static_cast<int>(i);
+    }
+    Rng rng(seed);
+    const std::vector<geo::Rectangle> rects =
+        core::FilterGen(problem, core::AllSubscribers(problem), targets.count,
+                        core::FilterGenOptions{}, rng);
+    core::LpRelaxOptions opts;
+    Result<core::LpRelaxModel> built = core::LpRelaxModel::Build(
+        problem, targets, all_rows, all_rows, rects, opts, rng);
+    if (!built.ok()) continue;  // structurally infeasible sample: no ladder
+    core::LpRelaxModel model = std::move(built.value());
+    (void)model.Solve(opts, rng);  // seed the retained basis
+    if (model.basis().empty()) continue;
+    ++ladders;
+
+    // The real escalation ladder's rung shape: tighten below β (the rung
+    // that creates primal infeasibility), then relax to β_max, then drop
+    // load enforcement (an objective retune — dual must hand over).
+    const struct {
+      double beta;
+      bool enforce;
+    } rungs[] = {{0.8 * config.beta, true},
+                 {config.beta_max, true},
+                 {config.beta_max, false}};
+    for (const auto& rung : rungs) {
+      const Basis hint = model.basis();
+      model.SetLoadRung(rung.beta, rung.enforce);
+      const LpSolution cold = solver.Solve(model.lp());
+      const LpSolution dual = solver.ResolveDual(model.lp(), hint);
+      const LpSolution warm = solver.Solve(model.lp(), &hint);
+      ASSERT_EQ(cold.status, SolveStatus::kOptimal)
+          << "ladder " << ladder;  // (C3) is soft: the LP itself stays LP-feasible
+      ASSERT_EQ(dual.status, SolveStatus::kOptimal) << "ladder " << ladder;
+      ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "ladder " << ladder;
+      // The satellite property: cold, warm-primal, and dual re-solves all
+      // agree on the objective to 1e-7 (relative).
+      const double tol = 1e-7 * (1 + std::abs(cold.objective));
+      EXPECT_NEAR(dual.objective, cold.objective, tol) << "ladder " << ladder;
+      EXPECT_NEAR(warm.objective, cold.objective, tol) << "ladder " << ladder;
+      ExpectKkt(model.lp(), dual);
+      ++rungs_checked;
+      if (dual.stats.dual_used && !dual.stats.dual_fallback) ++dual_engaged;
+      // Advance the retained basis through the model's own path (which
+      // itself uses ResolveDual after SetLoadRung).
+      const auto advanced = model.Solve(opts, rng);
+      if (advanced.ok()) {
+        EXPECT_TRUE(model.last_lp_stats().dual_used ||
+                    model.last_lp_stats().dual_fallback);
+      }
+    }
+  }
+  // The sweep must actually cover real ladders and engage the dual loop on
+  // a meaningful share of the rungs (the tightening rung in particular).
+  EXPECT_GT(ladders, 100);
+  EXPECT_EQ(rungs_checked, ladders * 3);
+  EXPECT_GT(dual_engaged, ladders / 2);
+}
+
+}  // namespace
+}  // namespace slp

@@ -288,6 +288,18 @@ TEST(WarmStartTest, WarmStartMatchesColdStart) {
       prev = warm;
     }
     if (warm.stats.warm_started) ++warm_accepted;
+    // The restoration accounting must be consistent: a crashed basis that
+    // was feasible as-is reports zero restoration rounds, an infeasible one
+    // reports at least one, and none of these mild nudges should force the
+    // cold fallback.
+    if (warm.stats.warm_started) {
+      if (warm.stats.warm_feasible) {
+        EXPECT_EQ(warm.stats.warm_restoration_rounds, 0) << "round " << round;
+      } else {
+        EXPECT_GE(warm.stats.warm_restoration_rounds, 1) << "round " << round;
+      }
+      EXPECT_FALSE(warm.stats.warm_fell_back_cold) << "round " << round;
+    }
   }
   // Small rhs nudges keep the basis dimension-compatible, so the hint must
   // actually be taken (not silently discarded) in every round.
@@ -316,8 +328,11 @@ TEST(WarmStartTest, WarmStartSurvivesObjectiveEdits) {
     EXPECT_NEAR(warm.objective, cold.objective, kTol);
     EXPECT_TRUE(warm.stats.warm_started);
     // Pure objective edits leave the old optimum primal feasible, so the
-    // crashed basis should be feasible as-is (no restoration pivots).
+    // crashed basis should be feasible as-is (no restoration pivots, no
+    // cold fallback).
     EXPECT_TRUE(warm.stats.warm_feasible);
+    EXPECT_EQ(warm.stats.warm_restoration_rounds, 0);
+    EXPECT_FALSE(warm.stats.warm_fell_back_cold);
     prev = warm;
   }
 }
@@ -391,6 +406,13 @@ TEST(WarmStartTest, HintOnInfeasibleProblemStillClassifiesInfeasible) {
   p.SetRhs(r1, 20);  // now x >= 20 contradicts x <= 5 and x <= 10
   const LpSolution warm = solver.Solve(p, &first.basis);
   EXPECT_EQ(warm.status, SolveStatus::kInfeasible);
+  // The hint was accepted, restoration could not reach the true bounds,
+  // and the solve restarted cold to run the real phase 1 — all of which
+  // the stats must now report instead of hiding (the fallback used to be
+  // silent).
+  EXPECT_TRUE(warm.stats.warm_started);
+  EXPECT_GE(warm.stats.warm_restoration_rounds, 1);
+  EXPECT_TRUE(warm.stats.warm_fell_back_cold);
 }
 
 // End-to-end shape of the ladder: rhs tightening (β escalation analogue)
