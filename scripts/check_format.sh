@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format -n (dry run) over the
+# library, test, bench, and example sources and fails if any file would be
+# rewritten. Part of the `lint` CI job; never modifies files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format.sh: $CLANG_FORMAT not found" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cc' \
+  'tests/*.h' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
+"$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+echo "check_format.sh: ${#files[@]} files clean"

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism and invariant-hygiene lint (DESIGN.md §10).
+
+Checks library code under src/ for constructs the project bans:
+
+  * raw assert() — library code must use SLP_DCHECK / SLP_INVARIANT so
+    failures route through the audit framework (static_assert is fine);
+  * SLP_CHECK — the aborting check is reserved for tests and the
+    benchmark/example drivers; library code must not abort (the macro's
+    definition in src/common/status.h is the one permitted occurrence);
+  * nondeterministic randomness — rand()/srand()/random_device; all
+    randomness must flow through the seeded slp::Rng (src/common/random.*),
+    which is also the only place allowed to name mt19937;
+  * unordered-container iteration — range-for over an unordered_map/set
+    member feeds hash-order into whatever it computes, which breaks the
+    repo's run-to-run determinism contract (see DESIGN.md §7). Ordered or
+    indexed containers must be used wherever iteration order can reach
+    output, float accumulation, or tie-breaking.
+
+Exit status 0 when clean; 1 with a findings report otherwise.
+Usage: python3 scripts/lint.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+FINDINGS = []
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line count.
+
+    Keeps column positions of surviving code roughly intact so findings can
+    report meaningful lines.
+    """
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (mode == "string" and c == '"') or (mode == "char" and c == "'"):
+                mode = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def report(path, line, rule, message):
+    FINDINGS.append(f"{path}:{line}: [{rule}] {message}")
+
+
+def line_of(text, match_start):
+    return text.count("\n", 0, match_start) + 1
+
+
+def check_asserts(path, code):
+    for m in re.finditer(r"(?<![\w.])assert\s*\(", code):
+        before = code[max(0, m.start() - 7):m.start()]
+        if before.endswith("static_"):
+            continue
+        report(path, line_of(code, m.start()), "no-raw-assert",
+               "use SLP_DCHECK / SLP_INVARIANT instead of assert()")
+
+
+def check_slp_check(path, code):
+    if path.as_posix().endswith("src/common/status.h"):
+        return  # the macro's own definition/documentation
+    for m in re.finditer(r"\bSLP_CHECK\s*\(", code):
+        report(path, line_of(code, m.start()), "no-abort-in-library",
+               "SLP_CHECK aborts; library code must use SLP_DCHECK or "
+               "return a Status")
+
+
+def check_randomness(path, code):
+    for m in re.finditer(r"(?<![\w:])(rand|srand)\s*\(", code):
+        report(path, line_of(code, m.start()), "no-unseeded-rng",
+               f"{m.group(1)}() is nondeterministic; use slp::Rng")
+    for m in re.finditer(r"\brandom_device\b", code):
+        report(path, line_of(code, m.start()), "no-unseeded-rng",
+               "std::random_device is nondeterministic; use slp::Rng")
+    if not path.as_posix().endswith(("src/common/random.h",
+                                     "src/common/random.cc")):
+        for m in re.finditer(r"\bmt19937(_64)?\b", code):
+            report(path, line_of(code, m.start()), "no-unseeded-rng",
+                   "raw engines belong in src/common/random.*; take an "
+                   "slp::Rng& instead")
+
+
+def unordered_members(code):
+    """Names of fields/variables declared with an unordered container type."""
+    names = set()
+    for m in re.finditer(
+            r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*"
+            r"(\w+)\s*[;{=]", code):
+        names.add(m.group(1))
+    return names
+
+
+def check_unordered_iteration(path, code):
+    names = unordered_members(code)
+    if not names:
+        return
+    # Range-for directly over the container (not .find/.at/.count access).
+    for m in re.finditer(r"for\s*\(\s*[^;)]*?:\s*(\w+)\s*\)", code):
+        if m.group(1) in names:
+            report(path, line_of(code, m.start()), "no-unordered-iteration",
+                   f"range-for over unordered container '{m.group(1)}' is "
+                   "hash-order-dependent; iterate a sorted copy or an "
+                   "ordered container")
+    # Iterator walks: container.begin() outside of find/erase idioms.
+    for m in re.finditer(r"\b(\w+)\.(?:begin|cbegin)\s*\(\s*\)", code):
+        if m.group(1) in names:
+            report(path, line_of(code, m.start()), "no-unordered-iteration",
+                   f"iterating unordered container '{m.group(1)}' is "
+                   "hash-order-dependent")
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint.py: no src/ under {root}", file=sys.stderr)
+        return 2
+    files = sorted(
+        p for p in src.rglob("*") if p.suffix in (".h", ".cc", ".cpp"))
+    for path in files:
+        code = strip_comments_and_strings(path.read_text())
+        rel = path.relative_to(root)
+        check_asserts(rel, code)
+        check_slp_check(rel, code)
+        check_randomness(rel, code)
+        check_unordered_iteration(rel, code)
+    if FINDINGS:
+        print(f"lint.py: {len(FINDINGS)} finding(s)")
+        for f in FINDINGS:
+            print("  " + f)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

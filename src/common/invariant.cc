@@ -1,0 +1,62 @@
+#include "src/common/invariant.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slp::audit {
+
+namespace {
+
+void DefaultHandler(const Violation& v) {
+  std::fprintf(stderr, "INVARIANT VIOLATION [%s] at %s:%d: %s%s%s\n",
+               ToString(v.category), v.file, v.line, v.expression,
+               v.context.empty() ? "" : " — ", v.context.c_str());
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+std::atomic<long> g_trips[static_cast<int>(Category::kCount)] = {};
+
+}  // namespace
+
+const char* ToString(Category category) {
+  switch (category) {
+    case Category::kDcheck: return "DCHECK";
+    case Category::kRectangle: return "RECTANGLE";
+    case Category::kNesting: return "NESTING";
+    case Category::kBasis: return "BASIS";
+    case Category::kFlow: return "FLOW";
+    case Category::kLiveOverlay: return "LIVE_OVERLAY";
+    case Category::kCount: break;
+  }
+  return "UNKNOWN";
+}
+
+Handler SetFailureHandler(Handler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler,
+                            std::memory_order_acq_rel);
+}
+
+long trip_count(Category category) {
+  return g_trips[static_cast<int>(category)].load(std::memory_order_acquire);
+}
+
+void ResetTripCounts() {
+  for (auto& t : g_trips) t.store(0, std::memory_order_release);
+}
+
+void Fail(Category category, const char* expression, const char* file,
+          int line, std::string context) {
+  g_trips[static_cast<int>(category)].fetch_add(1, std::memory_order_acq_rel);
+  Violation v;
+  v.category = category;
+  v.expression = expression;
+  v.file = file;
+  v.line = line;
+  v.context = std::move(context);
+  g_handler.load(std::memory_order_acquire)(v);
+}
+
+}  // namespace slp::audit

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp {
@@ -47,7 +48,7 @@ Rng Rng::Fork(uint64_t salt) {
 }
 
 ZipfSampler::ZipfSampler(int n, double exponent) {
-  SLP_CHECK(n > 0);
+  SLP_DCHECK(n > 0);
   pmf_.resize(n);
   cdf_.resize(n);
   double total = 0;
@@ -72,7 +73,7 @@ int ZipfSampler::Sample(Rng& rng) const {
 }
 
 double ZipfSampler::Pmf(int k) const {
-  SLP_CHECK(k >= 0 && k < static_cast<int>(pmf_.size()));
+  SLP_DCHECK(k >= 0 && k < static_cast<int>(pmf_.size()));
   return pmf_[k];
 }
 

@@ -25,8 +25,10 @@ enum class StatusCode {
 };
 
 // A success-or-error value. Cheap to copy on the success path (no
-// allocation); carries a message only on failure.
-class Status {
+// allocation); carries a message only on failure. [[nodiscard]]: silently
+// dropping a Status hides recoverable failures — callers must consume it
+// (or explicitly (void)-cast a genuinely ignorable one).
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -71,7 +73,7 @@ class Status {
 
 // A value-or-error. `value()` must only be called when `ok()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
@@ -96,8 +98,12 @@ namespace internal {
 }
 }  // namespace internal
 
-// Hard invariant check; aborts on failure. Used for programming errors, not
-// for recoverable conditions (those return Status).
+// Hard invariant check; aborts on failure in every build type. Library
+// code must not use this (scripts/lint.py enforces it): use SLP_DCHECK /
+// SLP_INVARIANT (src/common/invariant.h) for programming errors and
+// Status returns for recoverable conditions. Retained for tests and
+// benchmark/example drivers, where aborting on a broken precondition is
+// the right behavior regardless of build type.
 #define SLP_CHECK(expr)                                        \
   do {                                                         \
     if (!(expr)) {                                             \

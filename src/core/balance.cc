@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
 #include "src/flow/max_flow.h"
@@ -43,7 +44,7 @@ bool TryAssign(const SaProblem& problem,
         break;
       }
     }
-    SLP_CHECK((*assignment)[j] >= 0);
+    SLP_DCHECK((*assignment)[j] >= 0);
   }
   return true;
 }
@@ -76,7 +77,16 @@ SaSolution RunBalance(const SaProblem& problem, Rng& rng) {
   if (!TryAssign(problem, candidates, hi, &best_assignment)) {
     // Even fully unbalanced routing fails only if some subscriber has no
     // latency-feasible broker, which cannot happen (Δ-achieving leaf).
-    SLP_CHECK(false);
+    SLP_DCHECK(false);
+    // Defensive Release fallback: best-effort assignment so callers still
+    // get a structurally complete (if infeasible) solution.
+    best_assignment.assign(m, -1);
+    for (int j = 0; j < m; ++j) {
+      best_assignment[j] =
+          candidates[j].empty() ? tree.leaf_brokers()[0] : candidates[j][0];
+    }
+    solution.load_feasible = false;
+    solution.latency_feasible = false;
   }
   for (int iter = 0; iter < 40 && hi - lo > 1e-4 * hi; ++iter) {
     const double mid = (lo + hi) / 2;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::core {
@@ -78,7 +79,7 @@ Targets BuildLeafTargets(const SaProblem& problem,
       }
     }
     SortRow(&t.candidates[r], &t.candidate_latency[r]);
-    SLP_CHECK(!t.candidates[r].empty());  // Δ-achieving leaf always qualifies
+    SLP_DCHECK(!t.candidates[r].empty());  // Δ-achieving leaf always qualifies
   }
   return t;
 }
@@ -87,7 +88,7 @@ Targets BuildChildTargets(const SaProblem& problem,
                           const std::vector<int>& sub_indices, int node) {
   const auto& tree = problem.tree();
   const auto& children = tree.children(node);
-  SLP_CHECK(!children.empty());
+  SLP_DCHECK(!children.empty());
 
   Targets t;
   t.count = static_cast<int>(children.size());

@@ -5,11 +5,14 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
+#include "src/core/audit.h"
 #include "src/core/filter_adjust.h"
 #include "src/core/greedy.h"
 #include "src/geometry/filter.h"
 #include "src/geometry/volume_memo.h"
+#include "src/network/audit.h"
 
 namespace slp::core {
 
@@ -49,9 +52,9 @@ DynamicAssigner::DynamicAssigner(net::BrokerTree tree, SaConfig config,
     : tree_(std::move(tree)),
       config_(config),
       expected_population_(expected_population) {
-  SLP_CHECK(expected_population_ > 0);
+  SLP_DCHECK(expected_population_ > 0);
   const auto& leaves = tree_.leaf_brokers();
-  SLP_CHECK(!leaves.empty());
+  SLP_DCHECK(!leaves.empty());
   loads_.assign(leaves.size(), 0);
   leaf_index_.assign(tree_.num_nodes(), -1);
   for (size_t i = 0; i < leaves.size(); ++i) {
@@ -79,7 +82,7 @@ double DynamicAssigner::LoadCap(double lbf) const {
 }
 
 int DynamicAssigner::load_of(int leaf_node) const {
-  SLP_CHECK(leaf_index_[leaf_node] >= 0);
+  SLP_DCHECK(leaf_index_[leaf_node] >= 0);
   return loads_[leaf_index_[leaf_node]];
 }
 
@@ -232,9 +235,9 @@ void DynamicAssigner::DropOrphan(int handle) {
 }
 
 void DynamicAssigner::Remove(int handle) {
-  SLP_CHECK(handle >= 0 && handle < static_cast<int>(slots_.size()));
+  SLP_DCHECK(handle >= 0 && handle < static_cast<int>(slots_.size()));
   Slot& slot = slots_[handle];
-  SLP_CHECK(slot.occupied);
+  SLP_DCHECK(slot.occupied);
   ReleasePlacement(&slot);
   if (slot.state == SubscriberState::kLive) --live_count_;
   if (slot.state == SubscriberState::kOrphaned) DropOrphan(handle);
@@ -249,6 +252,9 @@ void DynamicAssigner::Remove(int handle) {
 Status DynamicAssigner::FailBroker(int node) {
   SLP_RETURN_IF_ERROR(tree_.FailBroker(node));
   RebuildLivePaths();
+#if SLP_AUDITS_ENABLED
+  net::AuditLiveOverlay(tree_);
+#endif
   if (leaf_index_[node] < 0) return Status::OK();  // interior: splice only
   // Leaf failure: its subscribers lose their broker.
   for (size_t h = 0; h < slots_.size(); ++h) {
@@ -266,6 +272,9 @@ Status DynamicAssigner::FailBroker(int node) {
 Status DynamicAssigner::RecoverBroker(int node) {
   SLP_RETURN_IF_ERROR(tree_.RecoverBroker(node));
   RebuildLivePaths();
+#if SLP_AUDITS_ENABLED
+  net::AuditLiveOverlay(tree_);
+#endif
   if (leaf_index_[node] >= 0) {
     // A recovered leaf comes back empty: its subscribers were re-placed
     // (or parked) during the outage, and a stale filter could violate
@@ -299,22 +308,22 @@ bool DynamicAssigner::is_occupied(int handle) const {
 }
 
 SubscriberState DynamicAssigner::state(int handle) const {
-  SLP_CHECK(is_occupied(handle));
+  SLP_DCHECK(is_occupied(handle));
   return slots_[handle].state;
 }
 
 const wl::Subscriber& DynamicAssigner::subscriber(int handle) const {
-  SLP_CHECK(is_occupied(handle));
+  SLP_DCHECK(is_occupied(handle));
   return slots_[handle].subscriber;
 }
 
 int DynamicAssigner::leaf_of(int handle) const {
-  SLP_CHECK(is_occupied(handle));
+  SLP_DCHECK(is_occupied(handle));
   return slots_[handle].leaf;
 }
 
 const DegradedViolation& DynamicAssigner::violation(int handle) const {
-  SLP_CHECK(is_occupied(handle));
+  SLP_DCHECK(is_occupied(handle));
   return slots_[handle].violation;
 }
 
@@ -407,6 +416,9 @@ ReoptimizeReport DynamicAssigner::Reoptimize(
   const SaSolution fresh = algorithm(snap.value().problem, rng);
   report.algorithm = fresh.algorithm;
   InstallLive(snap.value(), fresh);
+#if SLP_AUDITS_ENABLED
+  AuditLiveFilters(*this);
+#endif
   return report;
 }
 
@@ -443,6 +455,9 @@ ReoptimizeReport DynamicAssigner::ReoptimizeWithDeadline(
   }
   report.algorithm = fresh.algorithm;
   InstallLive(snap.value(), fresh);
+#if SLP_AUDITS_ENABLED
+  AuditLiveFilters(*this);
+#endif
   return report;
 }
 
@@ -482,7 +497,7 @@ void DynamicAssigner::InstallLive(const LiveSnapshot& snap,
 }
 
 std::pair<SaProblem, SaSolution> DynamicAssigner::Snapshot() const {
-  SLP_CHECK(live_count_ > 0);
+  SLP_DCHECK(live_count_ > 0);
   std::vector<wl::Subscriber> subs;
   std::vector<int> assignment;
   subs.reserve(live_count_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/geometry/clustering.h"
 
@@ -10,7 +11,7 @@ namespace slp::core {
 
 geo::Filter CoverWithAlphaMebs(const std::vector<geo::Rectangle>& rects,
                                int alpha, Rng& rng) {
-  SLP_CHECK(alpha >= 1);
+  SLP_DCHECK(alpha >= 1);
   if (rects.empty()) return geo::Filter();
   if (static_cast<int>(rects.size()) <= alpha) {
     // Dedupe identical rectangles; no clustering needed.

@@ -4,13 +4,29 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <string>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
+#include "src/geometry/audit.h"
 
 namespace slp::core {
 
 namespace {
+
+#if SLP_AUDITS_ENABLED
+// Rectangle sanity (finite, lo<=hi) of every filter a FilterAssign call
+// hands back — rounding, ε-expansion, and completion all build new
+// rectangles, so this is the phase boundary where a malformed one would
+// first escape.
+void AuditResultFilters(const FilterAssignResult& result) {
+  for (size_t t = 0; t < result.filters.size(); ++t) {
+    geo::AuditFilter(result.filters[t],
+                     "FilterAssign target " + std::to_string(t));
+  }
+}
+#endif
 
 // Rows (into targets.subscribers) not covered by `filters`: no candidate
 // target's filter contains the row's subscription in a single rectangle.
@@ -39,7 +55,7 @@ void Complete(const SaProblem& problem, const Targets& targets,
               std::vector<geo::Filter>* filters) {
   std::vector<std::vector<geo::Rectangle>> extra(targets.count);
   for (int r : uncovered) {
-    SLP_CHECK(!targets.candidates[r].empty());
+    SLP_DCHECK(!targets.candidates[r].empty());
     const int t = targets.candidates[r][0];  // nearest feasible target
     extra[t].push_back(problem.subscriber(targets.subscribers[r]).subscription);
   }
@@ -58,7 +74,7 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
                                         const FilterAssignOptions& options,
                                         Rng& rng) {
   const int rows = static_cast<int>(targets.subscribers.size());
-  SLP_CHECK(rows > 0);
+  SLP_DCHECK(rows > 0);
   for (int r = 0; r < rows; ++r) {
     if (targets.candidates[r].empty()) {
       return Status::Infeasible("subscriber with no latency-feasible target");
@@ -110,6 +126,9 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
           Complete(problem, targets, uncovered, rng, &best_filters);
           result.filters = std::move(best_filters);
           result.fractional_objective = best_fractional;
+#if SLP_AUDITS_ENABLED
+          AuditResultFilters(result);
+#endif
           return result;
         }
 
@@ -222,6 +241,9 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
           result.filters = std::move(expanded);
           result.fractional_objective =
               lp_result.value().fractional_objective;
+#if SLP_AUDITS_ENABLED
+          AuditResultFilters(result);
+#endif
           return result;
         }
 
@@ -251,6 +273,9 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
   Complete(problem, targets, uncovered, rng, &best_filters);
   result.filters = std::move(best_filters);
   result.fractional_objective = best_fractional;
+#if SLP_AUDITS_ENABLED
+  AuditResultFilters(result);
+#endif
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/geometry/clustering.h"
 
@@ -87,7 +88,7 @@ std::vector<geo::Rectangle> SuperSubscriptions(
 // The hierarchical interval generation of Section IV-A.3 for one dimension.
 std::vector<Interval> GenerateIntervals(std::vector<Interval> input,
                                         double eta) {
-  SLP_CHECK(!input.empty());
+  SLP_DCHECK(!input.empty());
   double span_lo = input[0].lo, span_hi = input[0].hi;
   double min_len = input[0].length(), max_len = input[0].length();
   for (const Interval& iv : input) {
@@ -149,8 +150,8 @@ std::vector<geo::Rectangle> FilterGen(const SaProblem& problem,
                                       int num_targets,
                                       const FilterGenOptions& options,
                                       Rng& rng) {
-  SLP_CHECK(!sa_indices.empty());
-  SLP_CHECK(num_targets > 0);
+  SLP_DCHECK(!sa_indices.empty());
+  SLP_DCHECK(num_targets > 0);
   const int ev_dim = problem.subscriber(sa_indices[0]).subscription.dim();
 
   // Step 1 (optional): super-subscriptions.
@@ -257,7 +258,7 @@ std::vector<geo::Rectangle> FilterGen(const SaProblem& problem,
     for (int s : contained) ++kept_covers[s];
     result.push_back(shrunk[c]);
   }
-  SLP_CHECK(!result.empty());
+  SLP_DCHECK(!result.empty());
   return result;
 }
 

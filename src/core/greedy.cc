@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
 
@@ -50,7 +51,7 @@ class PathFilters {
       rs.push_back(sub);
       return;
     }
-    SLP_CHECK(arg >= 0);
+    SLP_DCHECK(arg >= 0);
     rs[arg].Enclose(sub);
   }
 
@@ -118,7 +119,7 @@ class GreedyRunner {
         }
       }
       // With latency considered, the Δ-achieving leaf always qualifies.
-      SLP_CHECK(!candidates_[j].empty());
+      SLP_DCHECK(!candidates_[j].empty());
     }
   }
 
@@ -164,7 +165,7 @@ class GreedyRunner {
       }
       // Best effort: overload the least-loaded candidate.
       best = PickBest(j, std::numeric_limits<double>::infinity());
-      SLP_CHECK(best >= 0);
+      SLP_DCHECK(best >= 0);
       ++overload_count_;
       Commit(j, best, solution);
       return;
@@ -217,7 +218,7 @@ class GreedyRunner {
 
     int processed = 0;
     while (processed < m_) {
-      SLP_CHECK(!heap.empty());
+      SLP_DCHECK(!heap.empty());
       auto [count, j] = heap.top();
       heap.pop();
       if (done[j]) continue;

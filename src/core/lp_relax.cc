@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/lp/lp_problem.h"
 
@@ -15,8 +16,8 @@ Result<LpRelaxModel> LpRelaxModel::Build(
     const std::vector<int>& sa_rows, const std::vector<int>& sb_rows,
     const std::vector<geo::Rectangle>& rects, const LpRelaxOptions& options,
     Rng& rng) {
-  SLP_CHECK(!sa_rows.empty());
-  SLP_CHECK(!rects.empty());
+  SLP_DCHECK(!sa_rows.empty());
+  SLP_DCHECK(!rects.empty());
 
   LpRelaxModel model;
   model.targets_ = &targets;
@@ -185,7 +186,7 @@ Result<LpRelaxModel> LpRelaxModel::Build(
 }
 
 void LpRelaxModel::SetLoadRung(double beta, bool enforce_load) {
-  SLP_CHECK(beta > 0);
+  SLP_DCHECK(beta > 0);
   enforce_load_ = enforce_load;
   for (const C3Row& c3 : c3_rows_) {
     lp_.SetRhs(c3.row, beta * targets_->kappa[c3.target] * sb_size_);
@@ -219,6 +220,9 @@ Result<LpRelaxResult> LpRelaxModel::Solve(const LpRelaxOptions& options,
   // Retain the basis before any infeasibility verdict: an escalation
   // re-solve after "can't balance at β" is exactly the warm-start customer.
   basis_ = sol.basis;
+#if SLP_AUDITS_ENABLED
+  lp::AuditBasis(basis_, lp_);
+#endif
 
   LpRelaxResult result;
   result.lp_stats = sol.stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/geometry/volume_memo.h"
 
@@ -46,7 +47,7 @@ SolutionMetrics ComputeMetrics(const SaProblem& problem,
 }
 
 LoadSummary SummarizeLoads(const std::vector<int>& loads) {
-  SLP_CHECK(!loads.empty());
+  SLP_DCHECK(!loads.empty());
   std::vector<int> s = loads;
   // Only five order statistics are consumed, so place them with successive
   // nth_element passes (O(n) total) instead of fully sorting. Each pass

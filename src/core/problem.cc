@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::core {
@@ -13,7 +14,7 @@ SaProblem::SaProblem(net::BrokerTree tree,
       subscribers_(std::move(subscribers)),
       config_(config) {
   const int l = static_cast<int>(tree_.leaf_brokers().size());
-  SLP_CHECK(l > 0);
+  SLP_DCHECK(l > 0);
   kappa_.assign(l, 1.0 / l);
   Init();
 }
@@ -25,22 +26,22 @@ SaProblem::SaProblem(net::BrokerTree tree,
       subscribers_(std::move(subscribers)),
       config_(config),
       kappa_(std::move(capacity_fractions)) {
-  SLP_CHECK(kappa_.size() == tree_.leaf_brokers().size());
+  SLP_DCHECK(kappa_.size() == tree_.leaf_brokers().size());
   double total = 0;
   for (double k : kappa_) {
-    SLP_CHECK(k >= 0);
+    SLP_DCHECK(k >= 0);
     total += k;
   }
-  SLP_CHECK(std::abs(total - 1.0) < 1e-9);
+  SLP_DCHECK(std::abs(total - 1.0) < 1e-9);
   Init();
 }
 
 void SaProblem::Init() {
-  SLP_CHECK(!subscribers_.empty());
-  SLP_CHECK(config_.alpha >= 1);
-  SLP_CHECK(config_.max_delay >= 0);
-  SLP_CHECK(config_.beta_max >= config_.beta);
-  SLP_CHECK(config_.beta >= 1.0);
+  SLP_DCHECK(!subscribers_.empty());
+  SLP_DCHECK(config_.alpha >= 1);
+  SLP_DCHECK(config_.max_delay >= 0);
+  SLP_DCHECK(config_.beta_max >= config_.beta);
+  SLP_DCHECK(config_.beta >= 1.0);
 
   leaf_index_.assign(tree_.num_nodes(), -1);
   const auto& leaves = tree_.leaf_brokers();

@@ -1,5 +1,8 @@
 #include "src/core/repair.h"
 
+#include "src/common/invariant.h"
+#include "src/core/audit.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -9,7 +12,7 @@ namespace slp::core {
 
 RepairEngine::RepairEngine(DynamicAssigner* assigner, RepairOptions options)
     : dyn_(assigner), options_(options) {
-  SLP_CHECK(dyn_ != nullptr);
+  SLP_DCHECK(dyn_ != nullptr);
 }
 
 int RepairEngine::BestConstrainedLeaf(const wl::Subscriber& s,
@@ -39,14 +42,17 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
   for (double lbf : {dyn_->config().beta, dyn_->config().beta_max}) {
     const int leaf = BestConstrainedLeaf(s, lbf);
     if (leaf >= 0) {
-      SLP_CHECK(dyn_->PlaceAt(handle, leaf, SubscriberState::kLive).ok());
+      const Status placed =
+          dyn_->PlaceAt(handle, leaf, SubscriberState::kLive);
+      SLP_DCHECK(placed.ok());
       return SubscriberState::kLive;
     }
   }
 
   if (live_leaves.empty()) {
     // Park: nothing can host the subscriber until a broker recovers.
-    SLP_CHECK(dyn_->Park(handle, DegradedViolation{}).ok());
+    const Status parked = dyn_->Park(handle, DegradedViolation{});
+    SLP_DCHECK(parked.ok());
     return SubscriberState::kDegraded;
   }
 
@@ -75,7 +81,9 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
       v.latency = best_excess;
       report->max_latency_violation =
           std::max(report->max_latency_violation, v.latency);
-      SLP_CHECK(dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v).ok());
+      const Status placed =
+          dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v);
+      SLP_DCHECK(placed.ok());
       return SubscriberState::kDegraded;
     }
   }
@@ -97,7 +105,9 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
   report->max_latency_violation =
       std::max(report->max_latency_violation, v.latency);
   report->max_load_violation = std::max(report->max_load_violation, v.load);
-  SLP_CHECK(dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v).ok());
+  const Status placed =
+      dyn_->PlaceAt(handle, best, SubscriberState::kDegraded, v);
+  SLP_DCHECK(placed.ok());
   return SubscriberState::kDegraded;
 }
 
@@ -139,7 +149,9 @@ RepairReport RepairEngine::Repair(const Deadline& deadline, int64_t now) {
       if (leaf >= 0) break;
     }
     if (leaf >= 0) {
-      SLP_CHECK(dyn_->PlaceAt(handle, leaf, SubscriberState::kLive).ok());
+      const Status placed =
+          dyn_->PlaceAt(handle, leaf, SubscriberState::kLive);
+      SLP_DCHECK(placed.ok());
       ++report.undegraded;
       backoff_.erase(it);
     } else {
@@ -151,6 +163,9 @@ RepairReport RepairEngine::Repair(const Deadline& deadline, int64_t now) {
                          wait, static_cast<double>(options_.backoff_max)));
     }
   }
+#if SLP_AUDITS_ENABLED
+  AuditLiveFilters(*dyn_);
+#endif
   return report;
 }
 

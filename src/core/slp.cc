@@ -6,8 +6,10 @@
 #include <string>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/parallel.h"
 #include "src/common/status.h"
+#include "src/core/audit.h"
 #include "src/core/candidates.h"
 #include "src/core/filter_adjust.h"
 #include "src/core/filter_assign.h"
@@ -51,6 +53,9 @@ class SlpRunner {
 
     AdjustLeafFilters(problem_, &solution, rng_);
     BuildInternalFilters(problem_, &solution, rng_);
+#if SLP_AUDITS_ENABLED
+    AuditNesting(problem_, solution);
+#endif
     return solution;
   }
 
@@ -121,7 +126,7 @@ class SlpRunner {
       return Status::OK();
     }
     const auto& children = tree.children(node);
-    SLP_CHECK(!children.empty());
+    SLP_DCHECK(!children.empty());
     if (children.size() == 1) {
       return Recurse(children[0], std::move(subs), solution, is_root, rng);
     }
@@ -182,7 +187,7 @@ class SlpRunner {
     // child's node id), then fan the recursion out over the pool.
     std::vector<std::vector<int>> share(children.size());
     for (size_t r = 0; r < subs.size(); ++r) {
-      SLP_CHECK(target_of[r] >= 0);
+      SLP_DCHECK(target_of[r] >= 0);
       share[target_of[r]].push_back(subs[r]);
     }
     std::vector<Rng> child_rngs;
@@ -204,7 +209,7 @@ class SlpRunner {
     std::vector<double> load(targets.count, 0);
     std::vector<int> target_of(rows, -1);
     for (int r = 0; r < rows; ++r) {
-      SLP_CHECK(!targets.candidates[r].empty());
+      SLP_DCHECK(!targets.candidates[r].empty());
       int pick = -1;
       for (double lbf : {problem_.config().beta, problem_.config().beta_max}) {
         for (int t : targets.candidates[r]) {

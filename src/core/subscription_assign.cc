@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/core/filter_adjust.h"
 #include "src/flow/max_flow.h"
@@ -133,8 +134,8 @@ Result<SubscriptionAssignResult> AssignByMaxFlow(
     const SaProblem& problem, const Targets& targets,
     std::vector<geo::Filter>* filters, Rng& rng,
     const SubscriptionAssignOptions& options) {
-  SLP_CHECK(filters != nullptr);
-  SLP_CHECK(static_cast<int>(filters->size()) == targets.count);
+  SLP_DCHECK(filters != nullptr);
+  SLP_DCHECK(static_cast<int>(filters->size()) == targets.count);
   const int rows = static_cast<int>(targets.subscribers.size());
   const int nt = targets.count;
 

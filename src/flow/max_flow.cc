@@ -3,19 +3,22 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <string>
+#include <vector>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::flow {
 
 MaxFlow::MaxFlow(int num_nodes) : head_(num_nodes, -1) {
-  SLP_CHECK(num_nodes >= 2);
+  SLP_DCHECK(num_nodes >= 2);
 }
 
 int MaxFlow::AddEdge(int u, int v, int64_t capacity) {
-  SLP_CHECK(u >= 0 && u < num_nodes());
-  SLP_CHECK(v >= 0 && v < num_nodes());
-  SLP_CHECK(capacity >= 0);
+  SLP_DCHECK(u >= 0 && u < num_nodes());
+  SLP_DCHECK(v >= 0 && v < num_nodes());
+  SLP_DCHECK(capacity >= 0);
   const int fwd = static_cast<int>(to_.size());
   to_.push_back(v);
   cap_.push_back(capacity);
@@ -31,19 +34,19 @@ int MaxFlow::AddEdge(int u, int v, int64_t capacity) {
 }
 
 void MaxFlow::SetCapacity(int id, int64_t capacity) {
-  SLP_CHECK(id >= 0 && id < num_edges());
+  SLP_DCHECK(id >= 0 && id < num_edges());
   const int fwd = 2 * id;
   const int64_t current_flow = cap_[fwd + 1];
-  SLP_CHECK(capacity >= current_flow);
+  SLP_DCHECK(capacity >= current_flow);
   cap_[fwd] = capacity - current_flow;
   original_cap_[id] = capacity;
 }
 
 void MaxFlow::PushPath(const std::vector<int>& edge_ids, int64_t amount) {
-  SLP_CHECK(amount >= 0);
+  SLP_DCHECK(amount >= 0);
   for (int id : edge_ids) {
-    SLP_CHECK(id >= 0 && id < num_edges());
-    SLP_CHECK(cap_[2 * id] >= amount);
+    SLP_DCHECK(id >= 0 && id < num_edges());
+    SLP_DCHECK(cap_[2 * id] >= amount);
   }
   for (int id : edge_ids) {
     cap_[2 * id] -= amount;
@@ -53,7 +56,7 @@ void MaxFlow::PushPath(const std::vector<int>& edge_ids, int64_t amount) {
 }
 
 int64_t MaxFlow::flow(int id) const {
-  SLP_CHECK(id >= 0 && id < num_edges());
+  SLP_DCHECK(id >= 0 && id < num_edges());
   return cap_[2 * id + 1];  // reverse residual == flow pushed forward
 }
 
@@ -94,10 +97,10 @@ int64_t MaxFlow::Dfs(int u, int t, int64_t limit) {
 }
 
 int64_t MaxFlow::Solve(int s, int t) {
-  SLP_CHECK(s != t);
+  SLP_DCHECK(s != t);
   if (last_s_ >= 0) {
     // Resuming is only meaningful for the same terminals.
-    SLP_CHECK(s == last_s_ && t == last_t_);
+    SLP_DCHECK(s == last_s_ && t == last_t_);
   }
   last_s_ = s;
   last_t_ = t;
@@ -105,6 +108,9 @@ int64_t MaxFlow::Solve(int s, int t) {
     iter_ = head_;
     total_flow_ += Dfs(s, t, std::numeric_limits<int64_t>::max());
   }
+#if SLP_AUDITS_ENABLED
+  AuditFlowConservation(*this, s, t);
+#endif
   return total_flow_;
 }
 
@@ -124,6 +130,35 @@ std::vector<bool> MaxFlow::MinCutSourceSide(int s) const {
     }
   }
   return side;
+}
+
+void AuditFlowConservation(const MaxFlow& flow, int s, int t) {
+  constexpr auto kCat = audit::Category::kFlow;
+  const int n = flow.num_nodes();
+  SLP_AUDIT_CHECK(kCat, s >= 0 && s < n && t >= 0 && t < n && s != t,
+                  "bad terminals s=" + std::to_string(s) +
+                      " t=" + std::to_string(t));
+  std::vector<int64_t> net(n, 0);  // outflow - inflow per node
+  for (int e = 0; e < flow.num_edges(); ++e) {
+    const int64_t f = flow.flow(e);
+    const std::string edge = "edge " + std::to_string(e);
+    SLP_AUDIT_CHECK(kCat, f >= 0, edge + ": negative flow");
+    SLP_AUDIT_CHECK(kCat, f <= flow.capacity(e),
+                    edge + ": flow " + std::to_string(f) +
+                        " exceeds capacity " +
+                        std::to_string(flow.capacity(e)));
+    net[flow.edge_tail(e)] += f;
+    net[flow.edge_head(e)] -= f;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (v == s || v == t) continue;
+    SLP_AUDIT_CHECK(kCat, net[v] == 0,
+                    "node " + std::to_string(v) + ": imbalance " +
+                        std::to_string(net[v]));
+  }
+  SLP_AUDIT_CHECK(kCat, net[s] >= 0 && net[s] == -net[t],
+                  "terminal imbalance: net(s)=" + std::to_string(net[s]) +
+                      " net(t)=" + std::to_string(net[t]));
 }
 
 }  // namespace slp::flow

@@ -27,13 +27,13 @@ class MaxFlow {
   int AddEdge(int u, int v, int64_t capacity);
 
   // Updates the capacity of edge `id`. Lowering a capacity below the flow
-  // it currently carries is not supported (CHECK-fails); the intended use
-  // is capacity escalation.
+  // it currently carries is not supported (debug-checked); the intended
+  // use is capacity escalation.
   void SetCapacity(int id, int64_t capacity);
 
   // Manually routes `amount` units along the path formed by the given
   // edges, which must run from the Solve() source to the sink and have
-  // sufficient residual capacity (CHECK-fails otherwise). Used to seed the
+  // sufficient residual capacity (debug-checked). Used to seed the
   // solver with a heuristic (e.g., cost-aware) initial flow that later
   // Solve() calls extend and, only where necessary, reroute.
   void PushPath(const std::vector<int>& edge_ids, int64_t amount);
@@ -45,6 +45,12 @@ class MaxFlow {
 
   // Flow currently routed through edge `id` (forward direction).
   int64_t flow(int id) const;
+
+  // Endpoints and current capacity of edge `id` (used by the flow
+  // auditor and by diagnostics).
+  int edge_tail(int id) const { return to_[2 * id + 1]; }
+  int edge_head(int id) const { return to_[2 * id]; }
+  int64_t capacity(int id) const { return original_cap_[id]; }
 
   int num_nodes() const { return static_cast<int>(head_.size()); }
   int num_edges() const { return static_cast<int>(to_.size()) / 2; }
@@ -70,6 +76,15 @@ class MaxFlow {
   int64_t total_flow_ = 0;
   int last_s_ = -1, last_t_ = -1;
 };
+
+// Deep auditor (DESIGN.md §10): per-node flow conservation and capacity
+// bounds. Checks, for every edge, 0 <= flow <= capacity and that the
+// residual pair sums back to the capacity; for every node other than
+// s and t, net flow zero; and that s's net outflow equals t's net inflow
+// and is non-negative. Violations are reported through slp::audit::Fail
+// with Category::kFlow. Compiled in all build types; the call site inside
+// Solve() is wired under SLP_AUDITS_ENABLED only.
+void AuditFlowConservation(const MaxFlow& flow, int s, int t);
 
 }  // namespace slp::flow
 

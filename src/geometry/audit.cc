@@ -1,0 +1,27 @@
+#include "src/geometry/audit.h"
+
+#include <cmath>
+
+#include "src/common/invariant.h"
+
+namespace slp::geo {
+
+void AuditRectangle(const Rectangle& rect, const std::string& context) {
+  for (int i = 0; i < rect.dim(); ++i) {
+    SLP_AUDIT_CHECK(audit::Category::kRectangle,
+                    std::isfinite(rect.lo(i)) && std::isfinite(rect.hi(i)),
+                    context + ": non-finite bound in dim " +
+                        std::to_string(i));
+    SLP_AUDIT_CHECK(audit::Category::kRectangle, rect.lo(i) <= rect.hi(i),
+                    context + ": lo > hi in dim " + std::to_string(i));
+  }
+}
+
+void AuditFilter(const Filter& filter, const std::string& context) {
+  for (int i = 0; i < filter.size(); ++i) {
+    AuditRectangle(filter.rect(i),
+                   context + " rect " + std::to_string(i));
+  }
+}
+
+}  // namespace slp::geo

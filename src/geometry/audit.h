@@ -1,0 +1,30 @@
+// Deep auditors for geometric state (DESIGN.md §10): every rectangle the
+// library routes on must be well-formed — lo <= hi in every dimension and
+// all coordinates finite. NaN/inf coordinates silently poison containment
+// tests (every comparison is false), which is exactly the failure mode
+// the covering relation cannot tolerate.
+//
+// Auditors are compiled in every build type (tests drive them directly);
+// library call sites are wired under SLP_AUDITS_ENABLED only. Violations
+// are reported through slp::audit::Fail with Category::kRectangle.
+
+#ifndef SLP_GEOMETRY_AUDIT_H_
+#define SLP_GEOMETRY_AUDIT_H_
+
+#include <string>
+
+#include "src/geometry/filter.h"
+#include "src/geometry/rectangle.h"
+
+namespace slp::geo {
+
+// Checks lo <= hi per dimension and that every coordinate is finite.
+// `context` names the rectangle's owner in failure messages.
+void AuditRectangle(const Rectangle& rect, const std::string& context);
+
+// AuditRectangle over every rectangle of `filter`.
+void AuditFilter(const Filter& filter, const std::string& context);
+
+}  // namespace slp::geo
+
+#endif  // SLP_GEOMETRY_AUDIT_H_

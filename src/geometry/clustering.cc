@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::geo {
@@ -48,8 +49,8 @@ std::vector<Point> SeedCenters(const std::vector<Point>& points, int k,
 
 KMeansResult KMeans(const std::vector<Point>& points, int k, Rng& rng,
                     int max_iters) {
-  SLP_CHECK(!points.empty());
-  SLP_CHECK(k >= 1);
+  SLP_DCHECK(!points.empty());
+  SLP_DCHECK(k >= 1);
   const int n = static_cast<int>(points.size());
   const int dim = static_cast<int>(points[0].size());
 

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::geo {
@@ -16,7 +17,7 @@ using Point = std::vector<double>;
 
 // Euclidean distance between two points of equal dimension.
 inline double Distance(const Point& a, const Point& b) {
-  SLP_CHECK(a.size() == b.size());
+  SLP_DCHECK(a.size() == b.size());
   double s = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];
@@ -27,7 +28,7 @@ inline double Distance(const Point& a, const Point& b) {
 
 // Squared Euclidean distance (no sqrt); used in k-means inner loops.
 inline double DistanceSquared(const Point& a, const Point& b) {
-  SLP_CHECK(a.size() == b.size());
+  SLP_DCHECK(a.size() == b.size());
   double s = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];

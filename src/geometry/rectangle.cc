@@ -3,22 +3,24 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/invariant.h"
+
 namespace slp::geo {
 
 Rectangle::Rectangle(std::vector<double> lo, std::vector<double> hi)
     : lo_(std::move(lo)), hi_(std::move(hi)) {
-  SLP_CHECK(lo_.size() == hi_.size());
-  for (size_t i = 0; i < lo_.size(); ++i) SLP_CHECK(lo_[i] <= hi_[i]);
+  SLP_DCHECK(lo_.size() == hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) SLP_DCHECK(lo_[i] <= hi_[i]);
 }
 
 Rectangle Rectangle::FromPoint(const Point& p) { return Rectangle(p, p); }
 
 Rectangle Rectangle::FromCenter(const Point& center,
                                 const std::vector<double>& widths) {
-  SLP_CHECK(center.size() == widths.size());
+  SLP_DCHECK(center.size() == widths.size());
   std::vector<double> lo(center.size()), hi(center.size());
   for (size_t i = 0; i < center.size(); ++i) {
-    SLP_CHECK(widths[i] >= 0);
+    SLP_DCHECK(widths[i] >= 0);
     lo[i] = center[i] - widths[i] / 2;
     hi[i] = center[i] + widths[i] / 2;
   }
@@ -26,7 +28,7 @@ Rectangle Rectangle::FromCenter(const Point& center,
 }
 
 Rectangle Rectangle::Meb(const std::vector<Rectangle>& rects) {
-  SLP_CHECK(!rects.empty());
+  SLP_DCHECK(!rects.empty());
   Rectangle out = rects[0];
   for (size_t i = 1; i < rects.size(); ++i) out.Enclose(rects[i]);
   return out;
@@ -45,7 +47,7 @@ double Rectangle::Volume() const {
 }
 
 bool Rectangle::ContainsPoint(const Point& p) const {
-  SLP_CHECK(static_cast<int>(p.size()) == dim());
+  SLP_DCHECK(static_cast<int>(p.size()) == dim());
   for (size_t i = 0; i < lo_.size(); ++i) {
     if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
   }
@@ -53,7 +55,7 @@ bool Rectangle::ContainsPoint(const Point& p) const {
 }
 
 bool Rectangle::Contains(const Rectangle& r) const {
-  SLP_CHECK(r.dim() == dim());
+  SLP_DCHECK(r.dim() == dim());
   for (size_t i = 0; i < lo_.size(); ++i) {
     if (r.lo_[i] < lo_[i] || r.hi_[i] > hi_[i]) return false;
   }
@@ -61,7 +63,7 @@ bool Rectangle::Contains(const Rectangle& r) const {
 }
 
 bool Rectangle::Intersects(const Rectangle& r) const {
-  SLP_CHECK(r.dim() == dim());
+  SLP_DCHECK(r.dim() == dim());
   for (size_t i = 0; i < lo_.size(); ++i) {
     if (r.hi_[i] < lo_[i] || r.lo_[i] > hi_[i]) return false;
   }
@@ -85,7 +87,7 @@ Rectangle Rectangle::EnclosureWith(const Rectangle& r) const {
 }
 
 Rectangle& Rectangle::Enclose(const Rectangle& r) {
-  SLP_CHECK(r.dim() == dim());
+  SLP_DCHECK(r.dim() == dim());
   for (size_t i = 0; i < lo_.size(); ++i) {
     lo_[i] = std::min(lo_[i], r.lo_[i]);
     hi_[i] = std::max(hi_[i], r.hi_[i]);
@@ -98,7 +100,7 @@ double Rectangle::EnlargementTo(const Rectangle& r) const {
 }
 
 Rectangle Rectangle::Expanded(double eps) const {
-  SLP_CHECK(eps >= 0);
+  SLP_DCHECK(eps >= 0);
   std::vector<double> lo(lo_.size()), hi(hi_.size());
   for (size_t i = 0; i < lo_.size(); ++i) {
     const double pad = eps * (hi_[i] - lo_[i]) / 2;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::geo {
@@ -109,7 +110,7 @@ double SweepUnionVolume(const std::vector<Rectangle>& rects) {
   std::vector<int> active;
   active.reserve(rects.size());
   for (size_t i = 0; i < rects.size(); ++i) {
-    SLP_CHECK(rects[i].dim() == dim);
+    SLP_DCHECK(rects[i].dim() == dim);
     // Zero-volume (degenerate) rectangles are measure-zero in the union.
     if (rects[i].Volume() > 0) active.push_back(static_cast<int>(i));
   }

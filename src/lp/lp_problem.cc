@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::lp {
 
 int LpProblem::AddVariable(double obj, double lo, double hi) {
-  SLP_CHECK(lo <= hi);
-  SLP_CHECK(lo > -kInfinity);  // this library only needs finite lower bounds
+  SLP_DCHECK(lo <= hi);
+  SLP_DCHECK(lo > -kInfinity);  // this library only needs finite lower bounds
   obj_.push_back(obj);
   lo_.push_back(lo);
   hi_.push_back(hi);
@@ -31,8 +32,8 @@ int LpProblem::AddRows(const std::vector<RowSpec>& rows) {
 }
 
 void LpProblem::AddEntry(int row, int col, double coef) {
-  SLP_CHECK(row >= 0 && row < num_constraints());
-  SLP_CHECK(col >= 0 && col < num_vars());
+  SLP_DCHECK(row >= 0 && row < num_constraints());
+  SLP_DCHECK(col >= 0 && col < num_vars());
   entry_row_.push_back(row);
   entry_col_.push_back(col);
   entry_coef_.push_back(coef);
@@ -87,7 +88,7 @@ LpProblem::Columns LpProblem::BuildColumns() const {
 }
 
 std::vector<double> LpProblem::EvaluateRows(const std::vector<double>& x) const {
-  SLP_CHECK(static_cast<int>(x.size()) == num_vars());
+  SLP_DCHECK(static_cast<int>(x.size()) == num_vars());
   std::vector<double> lhs(num_constraints(), 0.0);
   for (int e = 0; e < num_entries(); ++e) {
     lhs[entry_row_[e]] += entry_coef_[e] * x[entry_col_[e]];

@@ -5,6 +5,7 @@
 #include <functional>
 #include <numeric>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::lp {
@@ -187,7 +188,7 @@ std::vector<BasisFactorization::Repair> BasisFactorization::Factorize(
     for (int r = 0; r < m; ++r) {
       if (!pivoted[r]) free_rows.push_back(r);
     }
-    SLP_CHECK(free_rows.size() == deficient_positions.size());
+    SLP_DCHECK(free_rows.size() == deficient_positions.size());
     for (size_t i = 0; i < deficient_positions.size(); ++i) {
       const int pos = deficient_positions[i];
       const int r = free_rows[i];
@@ -203,7 +204,7 @@ std::vector<BasisFactorization::Repair> BasisFactorization::Factorize(
       ++step;
     }
   }
-  SLP_CHECK(step == m);
+  SLP_DCHECK(step == m);
 
   // Remap L's row indices to elimination steps (all strictly below their
   // column's step, since L rows were unpivoted when recorded).
@@ -365,7 +366,7 @@ void BasisFactorization::Btran(ScatterVec* v, double density_threshold) const {
 }
 
 void BasisFactorization::AppendEta(const ScatterVec& w, int p) {
-  SLP_CHECK(w.val[p] != 0.0);
+  SLP_DCHECK(w.val[p] != 0.0);
   if (w.dense) {
     for (int i = 0; i < m_; ++i) {
       if (i == p || w.val[i] == 0.0) continue;

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/common/timer.h"
 #include "src/lp/lu_factor.h"
@@ -60,7 +62,7 @@ class DenseTableau {
         solution.status = st;
         return solution;
       }
-      SLP_CHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
+      SLP_DCHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
       if (CurrentObjective() > options_.feasibility_tol * (1 + rhs_norm_)) {
         solution.status = SolveStatus::kInfeasible;
         solution.stats.phase1_pivots = solution.iterations;
@@ -281,7 +283,7 @@ class DenseTableau {
           piv = r;
         }
       }
-      SLP_CHECK(piv >= 0 && best > 1e-12);
+      SLP_DCHECK(piv >= 0 && best > 1e-12);
       if (piv != col) {
         for (int k = 0; k < m_; ++k) {
           std::swap(mat[static_cast<size_t>(piv) * m_ + k],
@@ -625,7 +627,7 @@ class SparseTableau {
         solution.status = st;
         return Finish(std::move(solution));
       }
-      SLP_CHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
+      SLP_DCHECK(st != SolveStatus::kUnbounded);  // phase-1 obj bounded below
       if (CurrentObjective() > options_.feasibility_tol * (1 + rhs_norm_)) {
         solution.status = SolveStatus::kInfeasible;
         stats_.phase1_pivots = solution.iterations;
@@ -819,7 +821,8 @@ class SparseTableau {
     // trivially nonsingular.
     const auto repairs = factor_.Factorize(col_start_, entry_row_, entry_coef_,
                                            basis_, m_, kFactorPivotEps);
-    SLP_CHECK(repairs.empty());
+    SLP_INVARIANT(audit::Category::kBasis, repairs.empty(),
+                  "cold-start diagonal basis required repairs");
     ++stats_.refactorizations;
   }
 
@@ -1012,8 +1015,13 @@ class SparseTableau {
         std::max(stats_.max_eta_length, factor_.eta_count());
     const auto repairs = factor_.Factorize(col_start_, entry_row_, entry_coef_,
                                            basis_, m_, kFactorPivotEps);
-    SLP_CHECK(repairs.empty());
+    SLP_INVARIANT(audit::Category::kBasis, repairs.empty(),
+                  "refactorization of a pivot-checked basis repaired " +
+                      std::to_string(repairs.size()) + " columns");
     ++stats_.refactorizations;
+#if SLP_AUDITS_ENABLED
+    AuditTableauState();
+#endif
   }
 
   double EnteringDelta(int j, double d) const {
@@ -1027,6 +1035,9 @@ class SparseTableau {
   }
 
   void ExportBasis(Basis* out) const {
+#if SLP_AUDITS_ENABLED
+    AuditTableauState();
+#endif
     out->structural.resize(num_struct_);
     for (int j = 0; j < num_struct_; ++j) {
       out->structural[j] = basic_row_[j] >= 0 ? VarStatus::kBasic
@@ -1038,6 +1049,65 @@ class SparseTableau {
       const int c = basis_[p];
       if (c < num_struct_) continue;
       out->logical[entry_row_[col_start_[c]]] = VarStatus::kBasic;
+    }
+  }
+
+  // Deep self-audit of the tableau (debug builds, factorization/export
+  // boundaries): basis/position bijection, nonbasic upper-bound statuses
+  // only on boxed columns, bounded eta file, and a B·B^-1 probe — FTRAN
+  // of a few basis columns must reproduce unit vectors up to a residual
+  // bound (a decayed or mispatched factorization shows up here).
+  void AuditTableauState() const {
+    constexpr auto kCat = audit::Category::kBasis;
+    SLP_AUDIT_CHECK(kCat, static_cast<int>(basis_.size()) == m_,
+                    "basis has " + std::to_string(basis_.size()) +
+                        " positions for " + std::to_string(m_) + " rows");
+    int basic_count = 0;
+    for (int c = 0; c < total_cols_; ++c) {
+      const int p = basic_row_[c];
+      if (p >= 0) {
+        ++basic_count;
+        SLP_AUDIT_CHECK(kCat, p < m_ && basis_[p] == c,
+                        "basic_row/basis bijection broken at column " +
+                            std::to_string(c));
+      } else {
+        SLP_AUDIT_CHECK(kCat, !at_upper_[c] || hi_[c] < kInf,
+                        "nonbasic column " + std::to_string(c) +
+                            " at upper with infinite bound");
+      }
+    }
+    SLP_AUDIT_CHECK(kCat, basic_count == m_,
+                    std::to_string(basic_count) + " basic columns for " +
+                        std::to_string(m_) + " rows");
+    SLP_AUDIT_CHECK(kCat, factor_.eta_count() <= options_.max_eta,
+                    "eta file length " +
+                        std::to_string(factor_.eta_count()) +
+                        " exceeds max_eta " +
+                        std::to_string(options_.max_eta));
+    // B·B^-1 unit-vector probe on a few spread positions.
+    ScatterVec probe;
+    probe.Resize(m_);
+    const int samples = std::min(m_, 4);
+    for (int k = 0; k < samples; ++k) {
+      const int p = static_cast<int>(
+          (static_cast<int64_t>(k) * m_) / samples);
+      const int c = basis_[p];
+      probe.Clear();
+      double colnorm = 0;
+      for (int e = col_start_[c]; e < col_start_[c + 1]; ++e) {
+        probe.Add(entry_row_[e], entry_coef_[e]);
+        colnorm = std::max(colnorm, std::abs(entry_coef_[e]));
+      }
+      factor_.Ftran(&probe, options_.density_threshold);
+      const double tol = 1e-6 * (1 + colnorm);
+      double err = 0;
+      for (int i = 0; i < m_; ++i) {
+        const double want = i == p ? 1.0 : 0.0;
+        err = std::max(err, std::abs(probe.val[i] - want));
+      }
+      SLP_AUDIT_CHECK(kCat, err <= tol,
+                      "B·B^-1 residual " + std::to_string(err) +
+                          " at position " + std::to_string(p));
     }
   }
 
@@ -1576,8 +1646,8 @@ class SparseTableau {
 
 LpSolution SimplexSolver::Solve(const LpProblem& problem,
                                 const Basis* hint) const {
-  SLP_CHECK(problem.num_constraints() > 0);
-  SLP_CHECK(problem.num_vars() > 0);
+  SLP_DCHECK(problem.num_constraints() > 0);
+  SLP_DCHECK(problem.num_vars() > 0);
   WallTimer timer;
   LpSolution solution;
   if (options_.use_dense_engine) {
@@ -1594,8 +1664,8 @@ LpSolution SimplexSolver::Solve(const LpProblem& problem,
 
 LpSolution SimplexSolver::ResolveDual(const LpProblem& problem,
                                       const Basis& hint) const {
-  SLP_CHECK(problem.num_constraints() > 0);
-  SLP_CHECK(problem.num_vars() > 0);
+  SLP_DCHECK(problem.num_constraints() > 0);
+  SLP_DCHECK(problem.num_vars() > 0);
   WallTimer timer;
   if (!options_.use_dense_engine && !hint.empty() &&
       hint.CompatibleWith(problem.num_vars(), problem.num_constraints())) {
@@ -1613,6 +1683,39 @@ LpSolution SimplexSolver::ResolveDual(const LpProblem& problem,
   solution.stats.dual_fallback = true;
   solution.stats.solve_seconds = timer.Seconds();
   return solution;
+}
+
+void AuditBasis(const Basis& basis, const LpProblem& problem) {
+  constexpr auto kCat = audit::Category::kBasis;
+  const int n = problem.num_vars();
+  const int m = problem.num_constraints();
+  SLP_AUDIT_CHECK(kCat, static_cast<int>(basis.structural.size()) == n,
+                  "basis has " + std::to_string(basis.structural.size()) +
+                      " structural statuses for " + std::to_string(n) +
+                      " variables");
+  SLP_AUDIT_CHECK(kCat, static_cast<int>(basis.logical.size()) == m,
+                  "basis has " + std::to_string(basis.logical.size()) +
+                      " logical statuses for " + std::to_string(m) +
+                      " constraints");
+  int basic_count = 0;
+  for (int j = 0; j < n && j < static_cast<int>(basis.structural.size());
+       ++j) {
+    const VarStatus st = basis.structural[j];
+    if (st == VarStatus::kBasic) ++basic_count;
+    SLP_AUDIT_CHECK(kCat,
+                    st != VarStatus::kAtUpper || problem.hi(j) < kInfinity,
+                    "variable " + std::to_string(j) +
+                        " at upper with infinite upper bound");
+  }
+  for (const VarStatus st : basis.logical) {
+    if (st == VarStatus::kBasic) ++basic_count;
+    // ExportBasis's contract: logicals are reported kBasic or kAtLower.
+    SLP_AUDIT_CHECK(kCat, st != VarStatus::kAtUpper,
+                    "logical variable at upper bound");
+  }
+  SLP_AUDIT_CHECK(kCat, basic_count == m,
+                  std::to_string(basic_count) + " basic variables for " +
+                      std::to_string(m) + " constraints");
 }
 
 }  // namespace slp::lp

@@ -121,6 +121,16 @@ class SimplexSolver {
   SimplexOptions options_;
 };
 
+// Deep auditor (DESIGN.md §10): var-status coherence of a basis snapshot
+// against the problem it solves — sizes match, exactly num_constraints
+// variables are basic, kAtUpper only on variables with a finite upper
+// bound, and logical variables never kAtUpper (ExportBasis's contract).
+// The solver engines additionally self-audit their internal tableau
+// (basis/position bijection, eta-file length, B·B^-1 unit-vector
+// residuals) at factorization boundaries in debug builds. Violations are
+// reported through slp::audit::Fail with Category::kBasis.
+void AuditBasis(const Basis& basis, const LpProblem& problem);
+
 }  // namespace slp::lp
 
 #endif  // SLP_LP_SIMPLEX_H_

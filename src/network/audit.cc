@@ -1,0 +1,96 @@
+#include "src/network/audit.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/invariant.h"
+
+namespace slp::net {
+
+namespace {
+constexpr auto kCat = audit::Category::kLiveOverlay;
+}  // namespace
+
+LiveOverlayView MakeLiveOverlayView(const BrokerTree& tree) {
+  LiveOverlayView view;
+  const int n = tree.num_nodes();
+  view.failed.resize(n);
+  view.live_parent.resize(n);
+  view.live_children.resize(n);
+  for (int v = 0; v < n; ++v) {
+    view.failed[v] = tree.is_failed(v);
+    view.live_parent[v] = tree.live_parent(v);
+    view.live_children[v] = tree.live_children(v);
+  }
+  view.live_leaves = tree.live_leaf_brokers();
+  return view;
+}
+
+void AuditLiveOverlay(const LiveOverlayView& view) {
+  const int n = static_cast<int>(view.failed.size());
+  SLP_AUDIT_CHECK(kCat, n > 0 && !view.failed[BrokerTree::kPublisher],
+                  "publisher failed or empty overlay");
+
+  for (int v = 0; v < n; ++v) {
+    const std::string node = "node " + std::to_string(v);
+    if (view.failed[v]) {
+      // Failed nodes are fully detached from the overlay.
+      SLP_AUDIT_CHECK(kCat, view.live_parent[v] == -1,
+                      node + ": failed but has a live parent");
+      SLP_AUDIT_CHECK(kCat, view.live_children[v].empty(),
+                      node + ": failed but has live children");
+      continue;
+    }
+    // Downward symmetry: every listed child is live and points back.
+    for (int c : view.live_children[v]) {
+      SLP_AUDIT_CHECK(kCat, c >= 0 && c < n && !view.failed[c],
+                      node + ": live child out of range or failed");
+      SLP_AUDIT_CHECK(kCat, c >= 0 && c < n && view.live_parent[c] == v,
+                      node + ": child " + std::to_string(c) +
+                          " does not point back (asymmetry)");
+    }
+    if (v == BrokerTree::kPublisher) {
+      SLP_AUDIT_CHECK(kCat, view.live_parent[v] == -1,
+                      "publisher has a live parent");
+      continue;
+    }
+    // Upward symmetry + spliced-ancestor reachability.
+    const int p = view.live_parent[v];
+    SLP_AUDIT_CHECK(kCat, p >= 0 && p < n && !view.failed[p],
+                    node + ": live parent missing or failed");
+    if (p >= 0 && p < n) {
+      SLP_AUDIT_CHECK(kCat,
+                      std::find(view.live_children[p].begin(),
+                                view.live_children[p].end(),
+                                v) != view.live_children[p].end(),
+                      node + ": orphaned — absent from parent " +
+                          std::to_string(p) + "'s live children");
+    }
+    int hops = 0;
+    int a = v;
+    while (a != BrokerTree::kPublisher && a >= 0 && a < n && hops <= n) {
+      a = view.live_parent[a];
+      ++hops;
+    }
+    SLP_AUDIT_CHECK(kCat, a == BrokerTree::kPublisher && hops <= n,
+                    node + ": live path does not reach the publisher");
+  }
+
+  std::vector<bool> seen(n, false);
+  for (int leaf : view.live_leaves) {
+    const std::string node = "live leaf " + std::to_string(leaf);
+    SLP_AUDIT_CHECK(kCat, leaf > 0 && leaf < n, node + ": out of range");
+    if (leaf <= 0 || leaf >= n) continue;
+    SLP_AUDIT_CHECK(kCat, !view.failed[leaf], node + ": failed");
+    SLP_AUDIT_CHECK(kCat, view.live_children[leaf].empty(),
+                    node + ": has live children");
+    SLP_AUDIT_CHECK(kCat, !seen[leaf], node + ": listed twice");
+    seen[leaf] = true;
+  }
+}
+
+void AuditLiveOverlay(const BrokerTree& tree) {
+  AuditLiveOverlay(MakeLiveOverlayView(tree));
+}
+
+}  // namespace slp::net

@@ -1,0 +1,48 @@
+// Deep auditor for the broker tree's crash-stop live overlay
+// (DESIGN.md §9/§10). After every fail/recover event the overlay must
+// satisfy:
+//
+//  * the publisher is never failed;
+//  * parent/child symmetry: live_parent(v) == p  <=>  v ∈ live_children(p),
+//    for live non-publisher v;
+//  * spliced-ancestor reachability: following live_parent from any live
+//    node reaches the publisher in < num_nodes steps (no cycles, no
+//    dangling splices);
+//  * failed nodes are fully detached (no live parent, no live children,
+//    absent from the live leaf list);
+//  * every live leaf is live, is childless in the overlay, and appears
+//    exactly once.
+//
+// The auditor runs over a LiveOverlayView — a plain copy of the overlay
+// arrays — so tests can corrupt a view (orphan a child, break symmetry)
+// without mutating a real tree. Violations are reported through
+// slp::audit::Fail with Category::kLiveOverlay.
+
+#ifndef SLP_NETWORK_AUDIT_H_
+#define SLP_NETWORK_AUDIT_H_
+
+#include <vector>
+
+#include "src/network/broker_tree.h"
+
+namespace slp::net {
+
+// A detached copy of the live-overlay arrays of a finalized BrokerTree.
+struct LiveOverlayView {
+  std::vector<bool> failed;                      // by node id
+  std::vector<int> live_parent;                  // -1: publisher or failed
+  std::vector<std::vector<int>> live_children;   // by node id
+  std::vector<int> live_leaves;                  // live static leaves
+};
+
+LiveOverlayView MakeLiveOverlayView(const BrokerTree& tree);
+
+// Audits the overlay invariants over a view.
+void AuditLiveOverlay(const LiveOverlayView& view);
+
+// Convenience wrapper: snapshot `tree`'s overlay and audit it.
+void AuditLiveOverlay(const BrokerTree& tree);
+
+}  // namespace slp::net
+
+#endif  // SLP_NETWORK_AUDIT_H_

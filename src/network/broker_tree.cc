@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::net {
@@ -14,9 +15,9 @@ BrokerTree::BrokerTree(geo::Point publisher_location) {
 }
 
 int BrokerTree::AddBroker(geo::Point location, int parent) {
-  SLP_CHECK(!finalized_);
-  SLP_CHECK(parent >= 0 && parent < num_nodes());
-  SLP_CHECK(location.size() == location_[0].size());
+  SLP_DCHECK(!finalized_);
+  SLP_DCHECK(parent >= 0 && parent < num_nodes());
+  SLP_DCHECK(location.size() == location_[0].size());
   const int id = num_nodes();
   parent_.push_back(parent);
   children_.emplace_back();
@@ -26,14 +27,14 @@ int BrokerTree::AddBroker(geo::Point location, int parent) {
 }
 
 void BrokerTree::Finalize() {
-  SLP_CHECK(!finalized_);
-  SLP_CHECK(num_brokers() > 0);
+  SLP_DCHECK(!finalized_);
+  SLP_DCHECK(num_brokers() > 0);
   finalized_ = true;
   root_latency_.assign(num_nodes(), 0.0);
   // Nodes are created parent-before-child, so a forward pass suffices.
   for (int v = 1; v < num_nodes(); ++v) {
     const int p = parent_[v];
-    SLP_CHECK(p < v);
+    SLP_DCHECK(p < v);
     root_latency_[v] =
         root_latency_[p] + geo::Distance(location_[p], location_[v]);
   }
@@ -46,7 +47,7 @@ void BrokerTree::Finalize() {
 }
 
 Status BrokerTree::FailBroker(int node) {
-  SLP_CHECK(finalized_);
+  SLP_DCHECK(finalized_);
   if (node <= kPublisher || node >= num_nodes()) {
     return Status::InvalidArgument("FailBroker: node " + std::to_string(node) +
                                    " is not a broker");
@@ -62,7 +63,7 @@ Status BrokerTree::FailBroker(int node) {
 }
 
 Status BrokerTree::RecoverBroker(int node) {
-  SLP_CHECK(finalized_);
+  SLP_DCHECK(finalized_);
   if (node <= kPublisher || node >= num_nodes() || !failed_[node]) {
     return Status::InvalidArgument("RecoverBroker: node " +
                                    std::to_string(node) + " is not failed");
@@ -95,8 +96,8 @@ void BrokerTree::RebuildLiveOverlay() {
 }
 
 std::vector<int> BrokerTree::LivePathFromRoot(int node) const {
-  SLP_CHECK(finalized_);
-  SLP_CHECK(!failed_[node]);
+  SLP_DCHECK(finalized_);
+  SLP_DCHECK(!failed_[node]);
   std::vector<int> path;
   for (int v = node; v != -1; v = live_parent_[v]) path.push_back(v);
   std::reverse(path.begin(), path.end());
@@ -105,14 +106,14 @@ std::vector<int> BrokerTree::LivePathFromRoot(int node) const {
 
 double BrokerTree::LiveLatencyVia(int leaf,
                                   const geo::Point& sub_location) const {
-  SLP_CHECK(finalized_);
-  SLP_CHECK(!failed_[leaf]);
+  SLP_DCHECK(finalized_);
+  SLP_DCHECK(!failed_[leaf]);
   return live_root_latency_[leaf] +
          geo::Distance(location_[leaf], sub_location);
 }
 
 double BrokerTree::LiveShortestLatency(const geo::Point& sub_location) const {
-  SLP_CHECK(finalized_);
+  SLP_DCHECK(finalized_);
   double best = std::numeric_limits<double>::infinity();
   for (int leaf : live_leaves_) {
     best = std::min(best, LiveLatencyVia(leaf, sub_location));
@@ -135,12 +136,12 @@ std::vector<int> BrokerTree::PathFromRoot(int node) const {
 }
 
 double BrokerTree::LatencyVia(int leaf, const geo::Point& sub_location) const {
-  SLP_CHECK(finalized_);
+  SLP_DCHECK(finalized_);
   return root_latency_[leaf] + geo::Distance(location_[leaf], sub_location);
 }
 
 double BrokerTree::ShortestLatency(const geo::Point& sub_location) const {
-  SLP_CHECK(finalized_);
+  SLP_DCHECK(finalized_);
   double best = std::numeric_limits<double>::infinity();
   for (int leaf : leaves_) best = std::min(best, LatencyVia(leaf, sub_location));
   return best;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/geometry/clustering.h"
 
@@ -10,7 +11,7 @@ namespace slp::net {
 
 BrokerTree BuildOneLevelTree(const geo::Point& publisher,
                              const std::vector<geo::Point>& brokers) {
-  SLP_CHECK(!brokers.empty());
+  SLP_DCHECK(!brokers.empty());
   BrokerTree tree(publisher);
   for (const geo::Point& b : brokers) {
     tree.AddBroker(b, BrokerTree::kPublisher);
@@ -48,7 +49,7 @@ void AttachRecursive(BrokerTree* tree, const std::vector<geo::Point>& locs,
         rep = static_cast<int>(t);
       }
     }
-    SLP_CHECK(rep >= 0);
+    SLP_DCHECK(rep >= 0);
     const int rep_node = tree->AddBroker(locs[members[rep]], parent_node);
     std::vector<int> rest;
     for (size_t t = 0; t < members.size(); ++t) {
@@ -66,8 +67,8 @@ void AttachRecursive(BrokerTree* tree, const std::vector<geo::Point>& locs,
 BrokerTree BuildMultiLevelTree(const geo::Point& publisher,
                                const std::vector<geo::Point>& brokers,
                                int max_out_degree, Rng& rng) {
-  SLP_CHECK(!brokers.empty());
-  SLP_CHECK(max_out_degree >= 2);
+  SLP_DCHECK(!brokers.empty());
+  SLP_DCHECK(max_out_degree >= 2);
   BrokerTree tree(publisher);
   std::vector<int> all(brokers.size());
   for (size_t i = 0; i < brokers.size(); ++i) all[i] = static_cast<int>(i);

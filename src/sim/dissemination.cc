@@ -1,5 +1,6 @@
 #include "src/sim/dissemination.h"
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::sim {
@@ -56,21 +57,21 @@ void RouteEvent(const core::SaProblem& problem,
 }  // namespace
 
 void DisseminationStats::CheckInvariants() const {
-  SLP_CHECK(events >= 0 && total_messages >= 0 && deliveries >= 0 &&
+  SLP_DCHECK(events >= 0 && total_messages >= 0 && deliveries >= 0 &&
             wasted_leaf_hits >= 0 && missed_deliveries >= 0);
   int64_t hit_sum = 0;
   for (int64_t h : broker_hits) {
-    SLP_CHECK(h >= 0);
+    SLP_DCHECK(h >= 0);
     hit_sum += h;
   }
-  SLP_CHECK(hit_sum == total_messages);
-  SLP_CHECK(wasted_leaf_hits <= total_messages);
+  SLP_DCHECK(hit_sum == total_messages);
+  SLP_DCHECK(wasted_leaf_hits <= total_messages);
 }
 
 DisseminationStats Simulate(const core::SaProblem& problem,
                             const core::SaSolution& solution,
                             const std::vector<geo::Point>& events) {
-  SLP_CHECK(static_cast<int>(solution.filters.size()) ==
+  SLP_DCHECK(static_cast<int>(solution.filters.size()) ==
             problem.tree().num_nodes());
   DisseminationStats stats;
   stats.broker_hits.assign(problem.tree().num_nodes(), 0);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/core/greedy.h"
 #include "src/core/metrics.h"
 
@@ -25,7 +26,7 @@ void RouteLiveEvent(const core::DynamicAssigner& dyn, const geo::Point& event,
   while (!stack.empty()) {
     const int v = stack.back();
     stack.pop_back();
-    SLP_CHECK(!tree.is_failed(v));
+    SLP_DCHECK(!tree.is_failed(v));
     bool inside = false;
     for (const geo::Rectangle& r : dyn.filter(v)) {
       if (r.ContainsPoint(event)) {
@@ -96,7 +97,7 @@ FaultPlan FaultPlan::SeededRandom(const net::BrokerTree& tree, int num_events,
                                   double fail_fraction, int outage_events,
                                   Rng& rng) {
   const int num_brokers = tree.num_nodes() - 1;  // publisher excluded
-  SLP_CHECK(num_brokers > 0 && num_events > 0);
+  SLP_DCHECK(num_brokers > 0 && num_events > 0);
   const int victims = std::min(
       num_brokers,
       std::max(1, static_cast<int>(std::ceil(fail_fraction * num_brokers))));
@@ -120,7 +121,7 @@ Result<FaultReplayResult> ReplayWithFaults(
     core::DynamicAssigner& dyn, const FaultPlan& plan,
     const std::vector<geo::Point>& events, const FaultReplayOptions& options,
     Rng& rng) {
-  SLP_CHECK(options.epoch_length > 0);
+  SLP_DCHECK(options.epoch_length > 0);
   FaultReplayResult result;
   result.stats.broker_hits.assign(dyn.tree().num_nodes(), 0);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 
 namespace slp::wl {
@@ -9,8 +10,8 @@ namespace slp::wl {
 std::vector<geo::Point> PlaceBrokersLikeSubscribers(
     const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng,
     double jitter) {
-  SLP_CHECK(!subscriber_locations.empty());
-  SLP_CHECK(n > 0);
+  SLP_DCHECK(!subscriber_locations.empty());
+  SLP_DCHECK(n > 0);
   const int m = static_cast<int>(subscriber_locations.size());
   std::vector<int> picks;
   if (n <= m) {
@@ -33,8 +34,8 @@ std::vector<geo::Point> PlaceBrokersLikeSubscribers(
 
 std::vector<geo::Point> PlaceBrokersUniform(
     const std::vector<geo::Point>& subscriber_locations, int n, Rng& rng) {
-  SLP_CHECK(!subscriber_locations.empty());
-  SLP_CHECK(n > 0);
+  SLP_DCHECK(!subscriber_locations.empty());
+  SLP_DCHECK(n > 0);
   const size_t dim = subscriber_locations[0].size();
   geo::Point lo = subscriber_locations[0], hi = subscriber_locations[0];
   for (const geo::Point& p : subscriber_locations) {

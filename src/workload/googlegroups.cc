@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/workload/broker_placement.h"
 
@@ -35,9 +36,9 @@ geo::Point SampleAround(const Region& region, Rng& rng) {
 }  // namespace
 
 Workload GenerateGoogleGroups(const GoogleGroupsParams& params) {
-  SLP_CHECK(params.num_subscribers > 0);
-  SLP_CHECK(params.num_brokers > 0);
-  SLP_CHECK(params.num_topics > 0);
+  SLP_DCHECK(params.num_subscribers > 0);
+  SLP_DCHECK(params.num_brokers > 0);
+  SLP_DCHECK(params.num_topics > 0);
   Rng rng(params.seed);
 
   const std::vector<Region> regions = MakeRegions();

@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/workload/broker_placement.h"
 
 namespace slp::wl {
 
 Workload GenerateGrid(const GridParams& params) {
-  SLP_CHECK(params.num_subscribers > 0);
-  SLP_CHECK(params.num_brokers > 0);
-  SLP_CHECK(params.grid_cells_per_dim > 0);
-  SLP_CHECK(!params.width_set.empty());
+  SLP_DCHECK(params.num_subscribers > 0);
+  SLP_DCHECK(params.num_brokers > 0);
+  SLP_DCHECK(params.grid_cells_per_dim > 0);
+  SLP_DCHECK(!params.width_set.empty());
   Rng rng(params.seed);
 
   Workload w;

@@ -1,15 +1,16 @@
 #include "src/workload/rss.h"
 
+#include "src/common/invariant.h"
 #include "src/common/status.h"
 #include "src/workload/broker_placement.h"
 
 namespace slp::wl {
 
 Workload GenerateRss(const RssParams& params) {
-  SLP_CHECK(params.num_subscribers > 0);
-  SLP_CHECK(params.num_brokers > 0);
-  SLP_CHECK(params.num_interests > 0);
-  SLP_CHECK(params.num_locations > 0);
+  SLP_DCHECK(params.num_subscribers > 0);
+  SLP_DCHECK(params.num_brokers > 0);
+  SLP_DCHECK(params.num_interests > 0);
+  SLP_DCHECK(params.num_locations > 0);
   Rng rng(params.seed);
 
   Workload w;

@@ -72,7 +72,7 @@ TEST(DynamicTest, LoadCapsRespectedOnline) {
   // 10 identical subscribers: caps β=1.5 → 7.5 per broker; nobody may
   // exceed 8 even though all prefer the same filter growth.
   for (int i = 0; i < 10; ++i) {
-    dyn.Add(MakeSub(0, 1, 0.1, 0.1));
+    (void)dyn.Add(MakeSub(0, 1, 0.1, 0.1));
   }
   EXPECT_LE(dyn.loads()[0], 8);
   EXPECT_LE(dyn.loads()[1], 8);
@@ -92,7 +92,8 @@ TEST(DynamicTest, ChurnCreatesStalenessReoptimizeReclaims) {
   // Phase 2: topic A leaves; topic B (around 0.8) arrives.
   for (int h : phase1) dyn.Remove(h);
   for (int i = 0; i < 30; ++i) {
-    dyn.Add(MakeSub(rng.Uniform(-1, 1), 1, rng.Uniform(0.75, 0.85), 0.05));
+    (void)dyn.Add(
+        MakeSub(rng.Uniform(-1, 1), 1, rng.Uniform(0.75, 0.85), 0.05));
   }
   const double stale = dyn.CurrentBandwidth();
   const double tight = dyn.TightBandwidth(rng);
@@ -119,7 +120,7 @@ TEST(DynamicTest, SnapshotMetricsMatchLiveState) {
   SaConfig config;
   config.max_delay = 1.0;
   DynamicAssigner dyn(std::move(tree), config, 200);
-  for (const auto& s : w.subscribers) dyn.Add(s);
+  for (const auto& s : w.subscribers) (void)dyn.Add(s);
   auto [problem, solution] = dyn.Snapshot();
   EXPECT_EQ(problem.num_subscribers(), 200);
   const auto loads = LeafLoads(problem, solution);
@@ -143,7 +144,7 @@ TEST(DynamicTest, OnlineQualityWithinReachOfOffline) {
       net::BuildOneLevelTree(w.publisher, w.broker_locations);
   SaConfig config;
   DynamicAssigner dyn(tree, config, 400);
-  for (const auto& s : w.subscribers) dyn.Add(s);
+  for (const auto& s : w.subscribers) (void)dyn.Add(s);
   const double online_bw = dyn.CurrentBandwidth();
 
   SaProblem problem(std::move(tree), std::move(w.subscribers), config);
