@@ -29,6 +29,8 @@ const char* ToString(Category category) {
     case Category::kBasis: return "BASIS";
     case Category::kFlow: return "FLOW";
     case Category::kLiveOverlay: return "LIVE_OVERLAY";
+    case Category::kMatchIndex: return "MATCH_INDEX";
+    case Category::kDissemination: return "DISSEMINATION";
     case Category::kCount: break;
   }
   return "UNKNOWN";

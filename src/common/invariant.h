@@ -36,11 +36,13 @@ namespace slp::audit {
 // SLP_DCHECK failures (uncategorized programming errors).
 enum class Category : int {
   kDcheck = 0,
-  kRectangle,     // lo <= hi, finite coordinates
-  kNesting,       // filter nesting / subscriber containment
-  kBasis,         // LP basis coherence, B·B^-1 residual, eta length
-  kFlow,          // per-node flow balance + capacity bounds
-  kLiveOverlay,   // parent/child symmetry, spliced reachability
+  kRectangle,      // lo <= hi, finite coordinates
+  kNesting,        // filter nesting / subscriber containment
+  kBasis,          // LP basis coherence, B·B^-1 residual, eta length
+  kFlow,           // per-node flow balance + capacity bounds
+  kLiveOverlay,    // parent/child symmetry, spliced reachability
+  kMatchIndex,     // grid-index probe answers ≡ linear rectangle scan
+  kDissemination,  // dissemination counter identities (cross-counter sums)
   kCount,
 };
 

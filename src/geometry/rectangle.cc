@@ -54,6 +54,23 @@ bool Rectangle::ContainsPoint(const Point& p) const {
   return true;
 }
 
+bool Rectangle::OnBoundary(const Point& p) const {
+  if (!ContainsPoint(p)) return false;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    if (p[i] == lo_[i] || p[i] == hi_[i]) return true;
+  }
+  return false;
+}
+
+Point Rectangle::Corner(unsigned mask) const {
+  SLP_DCHECK(mask < (1u << lo_.size()));
+  Point p(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    p[i] = (mask >> i) & 1u ? hi_[i] : lo_[i];
+  }
+  return p;
+}
+
 bool Rectangle::Contains(const Rectangle& r) const {
   SLP_DCHECK(r.dim() == dim());
   for (size_t i = 0; i < lo_.size(); ++i) {

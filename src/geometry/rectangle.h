@@ -18,6 +18,24 @@ namespace slp::geo {
 
 // A closed axis-aligned box ∏_i [lo_i, hi_i]. Invariant: lo_i <= hi_i for
 // every dimension (degenerate boxes with zero extent are allowed).
+//
+// Boundary convention — CLOSED containment, everywhere. ContainsPoint(p)
+// is lo_i <= p_i <= hi_i in every dimension: a rectangle contains its own
+// boundary. Consequences the rest of the library relies on:
+//
+//  * An event landing exactly on the shared edge of two abutting
+//    rectangles is contained in BOTH. Every point-containment path — this
+//    class, Filter::ContainsPoint, the linear scans in sim::dissemination,
+//    and the grid index in src/match — must agree on such events
+//    bit-for-bit; the match differential tests probe shared edges and
+//    corners explicitly.
+//  * Union volume is measure-theoretic: a shared face has measure zero,
+//    so the closed convention never double-counts volume. Realized traffic
+//    of abutting filters can exceed the volume sum only on a
+//    measure-zero event set (deterministic boundary events, never uniform
+//    samples with probability > 0).
+//  * Degenerate boxes (lo_i == hi_i somewhere) still contain the points
+//    of their face; a point box contains exactly its one point.
 class Rectangle {
  public:
   Rectangle() = default;
@@ -50,6 +68,16 @@ class Rectangle {
   bool ContainsPoint(const Point& p) const;
   bool Contains(const Rectangle& r) const;  // true iff r ⊆ this
   bool Intersects(const Rectangle& r) const;
+
+  // True iff p is contained AND lies on at least one face (p_i == lo_i or
+  // p_i == hi_i somewhere). The boundary-semantics helper used by the
+  // match auditors to label the probes that distinguish closed from
+  // half-open containment.
+  bool OnBoundary(const Point& p) const;
+
+  // The corner selected by `mask`: bit i set picks hi_i, clear picks lo_i.
+  // mask must be < 2^dim. Corners are the canonical boundary probes.
+  Point Corner(unsigned mask) const;
 
   // Intersection box, or nullopt if disjoint.
   std::optional<Rectangle> Intersection(const Rectangle& r) const;

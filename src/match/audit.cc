@@ -1,0 +1,95 @@
+#include "src/match/audit.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/invariant.h"
+
+namespace slp::match {
+
+namespace {
+
+using audit::Category;
+
+// At most this many reference rectangles contribute probe points (strided
+// across the list so early and late ingestions are both sampled).
+constexpr int kMaxSampledRects = 64;
+
+// Owners containing p by linear scan over the reference list, sorted.
+std::vector<int32_t> LinearScan(const std::vector<OwnedRect>& reference,
+                                const geo::Point& p) {
+  std::vector<int32_t> owners;
+  for (const OwnedRect& r : reference) {
+    if (r.rect.ContainsPoint(p)) owners.push_back(r.owner);
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+void CheckProbe(const MatchIndex& index, MatchBatch& batch,
+                const std::vector<OwnedRect>& reference, const geo::Point& p,
+                const std::string& context) {
+  std::vector<int32_t> got = batch.Probe(p);
+  std::sort(got.begin(), got.end());
+  const std::vector<int32_t> want = LinearScan(reference, p);
+  SLP_AUDIT_CHECK(Category::kMatchIndex, got == want,
+                  context + ": probe (" + std::to_string(p[0]) + ", " +
+                      std::to_string(p[1]) + ") index answered " +
+                      std::to_string(got.size()) + " owners, linear scan " +
+                      std::to_string(want.size()));
+  // Count/any answers must agree with the same linear scan (rectangle
+  // granularity, so duplicates in the reference count twice).
+  int rect_hits = 0;
+  for (const OwnedRect& r : reference) rect_hits += r.rect.ContainsPoint(p);
+  SLP_AUDIT_CHECK(Category::kMatchIndex,
+                  index.CountContaining(p[0], p[1]) == rect_hits,
+                  context + ": CountContaining disagrees with linear scan");
+  SLP_AUDIT_CHECK(Category::kMatchIndex,
+                  index.AnyContains(p[0], p[1]) == (rect_hits > 0),
+                  context + ": AnyContains disagrees with linear scan");
+}
+
+}  // namespace
+
+void AuditIndex(const MatchIndex& index,
+                const std::vector<OwnedRect>& reference,
+                const std::string& context,
+                const std::vector<geo::Point>& extra_probes) {
+  SLP_AUDIT_CHECK(Category::kMatchIndex,
+                  index.num_rects() == static_cast<int>(reference.size()),
+                  context + ": index holds " +
+                      std::to_string(index.num_rects()) +
+                      " rects, reference " +
+                      std::to_string(reference.size()));
+  for (int k = 0; k < index.num_rects(); ++k) {
+    SLP_AUDIT_CHECK(Category::kMatchIndex,
+                    index.owner(k) == reference[k].owner &&
+                        index.rect(k) == reference[k].rect,
+                    context + ": rect " + std::to_string(k) +
+                        " differs from reference");
+  }
+
+  MatchBatch batch(&index);
+  const int n = static_cast<int>(reference.size());
+  const int stride = std::max(1, n / kMaxSampledRects);
+  for (int k = 0; k < n; k += stride) {
+    const geo::Rectangle& r = reference[k].rect;
+    for (unsigned mask = 0; mask < 4; ++mask) {
+      CheckProbe(index, batch, reference, r.Corner(mask), context);
+    }
+    const geo::Point c = r.Center();
+    CheckProbe(index, batch, reference, c, context);
+    // Edge midpoints: center coordinate on one axis, face on the other —
+    // interior-of-edge probes distinct from the corners.
+    CheckProbe(index, batch, reference, {r.lo(0), c[1]}, context);
+    CheckProbe(index, batch, reference, {r.hi(0), c[1]}, context);
+    CheckProbe(index, batch, reference, {c[0], r.lo(1)}, context);
+    CheckProbe(index, batch, reference, {c[0], r.hi(1)}, context);
+  }
+  for (const geo::Point& p : extra_probes) {
+    CheckProbe(index, batch, reference, p, context);
+  }
+}
+
+}  // namespace slp::match

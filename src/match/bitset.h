@@ -1,0 +1,76 @@
+// A flat dynamic bitset used by the matching engine's probe answers
+// ("which owners contain event e"). Deliberately minimal: fixed size after
+// Resize, word-granular popcount, and an indexed iteration helper — no
+// dynamic growth, no iterators, no allocation on the probe path.
+
+#ifndef SLP_MATCH_BITSET_H_
+#define SLP_MATCH_BITSET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/invariant.h"
+
+namespace slp::match {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(int num_bits) { Resize(num_bits); }
+
+  // Resizes to `num_bits` and clears every bit.
+  void Resize(int num_bits) {
+    SLP_DCHECK(num_bits >= 0);
+    num_bits_ = num_bits;
+    words_.assign((static_cast<size_t>(num_bits) + 63) / 64, 0);
+  }
+
+  int size() const { return num_bits_; }
+
+  void Set(int i) {
+    SLP_DCHECK(i >= 0 && i < num_bits_);
+    words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(int i) {
+    SLP_DCHECK(i >= 0 && i < num_bits_);
+    words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(int i) const {
+    SLP_DCHECK(i >= 0 && i < num_bits_);
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  // Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  // Invokes fn(i) for every set bit i, in increasing order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(static_cast<int>(wi * 64) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  int num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace slp::match
+
+#endif  // SLP_MATCH_BITSET_H_

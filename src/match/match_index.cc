@@ -1,0 +1,195 @@
+#include "src/match/match_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/invariant.h"
+
+namespace slp::match {
+
+namespace {
+
+// Grid resolution: ~sqrt(n) cells per axis keeps expected candidates per
+// cell O(1) for small rectangles while bounding build cost for large ones
+// (a rectangle spanning the whole extent touches every cell of its rows).
+int GridResolution(int num_rects) {
+  const int g = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(std::max(num_rects, 1)))));
+  return std::clamp(g, 1, 512);
+}
+
+}  // namespace
+
+MatchIndex::Builder& MatchIndex::Builder::Add(int owner,
+                                              const geo::Rectangle& rect) {
+  SLP_DCHECK(owner >= 0 && owner < num_owners_);
+  SLP_DCHECK(rect.dim() == 2);
+  rects_.push_back(OwnedRect{owner, rect});
+  return *this;
+}
+
+MatchIndex MatchIndex::Builder::Build() && {
+  return BuildIndex(rects_, num_owners_);
+}
+
+int MatchIndex::CellX(double x) const {
+  // inv_wx_ == 0 (flat axis or empty index) maps everything to cell 0.
+  const int c = static_cast<int>(std::floor((x - min_x_) * inv_wx_));
+  return std::clamp(c, 0, gx_ - 1);
+}
+
+int MatchIndex::CellY(double y) const {
+  const int c = static_cast<int>(std::floor((y - min_y_) * inv_wy_));
+  return std::clamp(c, 0, gy_ - 1);
+}
+
+geo::Rectangle MatchIndex::rect(int k) const {
+  SLP_DCHECK(k >= 0 && k < num_rects());
+  return geo::Rectangle({lo_x_[k], lo_y_[k]}, {hi_x_[k], hi_y_[k]});
+}
+
+void MatchIndex::Probe(double x, double y, BitSet* owners,
+                       std::vector<int32_t>* matched) const {
+  SLP_DCHECK(owners->size() >= num_owners_);
+  if (owner_.empty() || x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) {
+    return;
+  }
+  int count = 0;
+  const int32_t* ids = CellBegin(CellX(x), CellY(y), &count);
+  for (int i = 0; i < count; ++i) {
+    const int32_t k = ids[i];
+    if (x < lo_x_[k] || x > hi_x_[k] || y < lo_y_[k] || y > hi_y_[k]) continue;
+    const int32_t o = owner_[k];
+    if (!owners->Test(o)) {
+      owners->Set(o);
+      matched->push_back(o);
+    }
+  }
+}
+
+int MatchIndex::CountContaining(double x, double y) const {
+  if (owner_.empty() || x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) {
+    return 0;
+  }
+  int count = 0;
+  const int32_t* ids = CellBegin(CellX(x), CellY(y), &count);
+  int hits = 0;
+  for (int i = 0; i < count; ++i) {
+    const int32_t k = ids[i];
+    hits += x >= lo_x_[k] && x <= hi_x_[k] && y >= lo_y_[k] && y <= hi_y_[k];
+  }
+  return hits;
+}
+
+void MatchIndex::AppendContaining(double x, double y,
+                                  std::vector<int32_t>* out) const {
+  if (owner_.empty() || x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) {
+    return;
+  }
+  int count = 0;
+  const int32_t* ids = CellBegin(CellX(x), CellY(y), &count);
+  for (int i = 0; i < count; ++i) {
+    const int32_t k = ids[i];
+    if (x >= lo_x_[k] && x <= hi_x_[k] && y >= lo_y_[k] && y <= hi_y_[k]) {
+      out->push_back(owner_[k]);
+    }
+  }
+}
+
+bool MatchIndex::AnyContains(double x, double y) const {
+  if (owner_.empty() || x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) {
+    return false;
+  }
+  int count = 0;
+  const int32_t* ids = CellBegin(CellX(x), CellY(y), &count);
+  for (int i = 0; i < count; ++i) {
+    const int32_t k = ids[i];
+    if (x >= lo_x_[k] && x <= hi_x_[k] && y >= lo_y_[k] && y <= hi_y_[k]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MatchIndex BuildIndex(const std::vector<OwnedRect>& rects, int num_owners) {
+  SLP_DCHECK(num_owners >= 0);
+  MatchIndex idx;
+  idx.num_owners_ = num_owners;
+  const int n = static_cast<int>(rects.size());
+  if (n == 0) {
+    idx.cell_start_.assign(2, 0);
+    return idx;
+  }
+
+  idx.lo_x_.resize(n);
+  idx.hi_x_.resize(n);
+  idx.lo_y_.resize(n);
+  idx.hi_y_.resize(n);
+  idx.owner_.resize(n);
+  idx.min_x_ = rects[0].rect.lo(0);
+  idx.max_x_ = rects[0].rect.hi(0);
+  idx.min_y_ = rects[0].rect.lo(1);
+  idx.max_y_ = rects[0].rect.hi(1);
+  for (int k = 0; k < n; ++k) {
+    const geo::Rectangle& r = rects[k].rect;
+    SLP_DCHECK(r.dim() == 2);
+    SLP_DCHECK(rects[k].owner >= 0 && rects[k].owner < num_owners);
+    idx.lo_x_[k] = r.lo(0);
+    idx.hi_x_[k] = r.hi(0);
+    idx.lo_y_[k] = r.lo(1);
+    idx.hi_y_[k] = r.hi(1);
+    idx.owner_[k] = rects[k].owner;
+    idx.min_x_ = std::min(idx.min_x_, r.lo(0));
+    idx.max_x_ = std::max(idx.max_x_, r.hi(0));
+    idx.min_y_ = std::min(idx.min_y_, r.lo(1));
+    idx.max_y_ = std::max(idx.max_y_, r.hi(1));
+  }
+
+  idx.gx_ = GridResolution(n);
+  idx.gy_ = idx.gx_;
+  idx.inv_wx_ = idx.max_x_ > idx.min_x_
+                    ? static_cast<double>(idx.gx_) / (idx.max_x_ - idx.min_x_)
+                    : 0;
+  idx.inv_wy_ = idx.max_y_ > idx.min_y_
+                    ? static_cast<double>(idx.gy_) / (idx.max_y_ - idx.min_y_)
+                    : 0;
+  if (idx.inv_wx_ == 0) idx.gx_ = 1;
+  if (idx.inv_wy_ == 0) idx.gy_ = 1;
+
+  // CSR fill, two passes: count entries per cell, then place rect ids.
+  // Rect k covers the cell ranges [CellX(lo), CellX(hi)] x [CellY(lo),
+  // CellY(hi)]; CellX/CellY are monotone, so every probe coordinate inside
+  // the rectangle maps into that range.
+  const size_t num_cells = static_cast<size_t>(idx.gx_) * idx.gy_;
+  idx.cell_start_.assign(num_cells + 1, 0);
+  for (int k = 0; k < n; ++k) {
+    const int cx0 = idx.CellX(idx.lo_x_[k]), cx1 = idx.CellX(idx.hi_x_[k]);
+    const int cy0 = idx.CellY(idx.lo_y_[k]), cy1 = idx.CellY(idx.hi_y_[k]);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        ++idx.cell_start_[static_cast<size_t>(cy) * idx.gx_ + cx + 1];
+      }
+    }
+  }
+  for (size_t c = 0; c < num_cells; ++c) {
+    idx.cell_start_[c + 1] += idx.cell_start_[c];
+  }
+  idx.cell_rects_.resize(idx.cell_start_[num_cells]);
+  std::vector<uint32_t> fill(idx.cell_start_.begin(),
+                             idx.cell_start_.end() - 1);
+  for (int k = 0; k < n; ++k) {
+    const int cx0 = idx.CellX(idx.lo_x_[k]), cx1 = idx.CellX(idx.hi_x_[k]);
+    const int cy0 = idx.CellY(idx.lo_y_[k]), cy1 = idx.CellY(idx.hi_y_[k]);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        idx.cell_rects_[fill[static_cast<size_t>(cy) * idx.gx_ + cx]++] = k;
+      }
+    }
+  }
+  // Ids land in each cell in ascending k already (the fill loop visits k
+  // in order), so probe answers are deterministic by construction.
+  return idx;
+}
+
+}  // namespace slp::match

@@ -1,17 +1,47 @@
 #include "src/sim/dissemination.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/invariant.h"
+#include "src/common/parallel.h"
 #include "src/common/status.h"
+#include "src/match/audit.h"
+#include "src/match/match_index.h"
 
 namespace slp::sim {
 
 namespace {
 
+// Assigned subscribers grouped by leaf node id. Subscribers with
+// assignment[j] < 0 (parked/orphaned in a dynamic snapshot) are skipped
+// and counted in *unplaced — indexing subs_of_leaf by a negative id was
+// undefined behavior before this guard existed.
+std::vector<std::vector<int>> GroupSubsByLeaf(const core::SaProblem& problem,
+                                              const core::SaSolution& solution,
+                                              int* unplaced) {
+  std::vector<std::vector<int>> subs_of_leaf(problem.tree().num_nodes());
+  *unplaced = 0;
+  for (int j = 0; j < problem.num_subscribers(); ++j) {
+    const int leaf = solution.assignment[j];
+    if (leaf < 0) {
+      ++*unplaced;
+      continue;
+    }
+    SLP_DCHECK(leaf < problem.tree().num_nodes());
+    subs_of_leaf[leaf].push_back(j);
+  }
+  return subs_of_leaf;
+}
+
+// ---- Legacy linear engine (differential baseline) ----
+
 // Routes one event from the publisher down the tree. Returns via `stats`.
-void RouteEvent(const core::SaProblem& problem,
-                const core::SaSolution& solution, const geo::Point& event,
-                const std::vector<std::vector<int>>& subs_of_leaf,
-                DisseminationStats* stats) {
+void RouteEventLinear(const core::SaProblem& problem,
+                      const core::SaSolution& solution,
+                      const geo::Point& event,
+                      const std::vector<std::vector<int>>& subs_of_leaf,
+                      DisseminationStats* stats) {
   const auto& tree = problem.tree();
   // DFS from the publisher; enter a broker iff its filter contains the
   // event (the paper's forwarding condition e ∈ f_i).
@@ -36,9 +66,10 @@ void RouteEvent(const core::SaProblem& problem,
       for (int c : tree.children(v)) stack.push_back(c);
     }
   }
-  // Ground truth: every subscriber whose subscription matches must have
-  // been reachable (its leaf's filter chain must contain the event).
+  // Ground truth: every *placed* subscriber whose subscription matches must
+  // have been reachable (its leaf's filter chain must contain the event).
   for (int j = 0; j < problem.num_subscribers(); ++j) {
+    if (solution.assignment[j] < 0) continue;  // unplaced: no leaf to reach
     if (!problem.subscriber(j).subscription.ContainsPoint(event)) continue;
     // Walk up from the assigned leaf: all filters on the path must contain
     // the event for delivery to have happened.
@@ -54,35 +85,215 @@ void RouteEvent(const core::SaProblem& problem,
   }
 }
 
+// ---- Indexed engine (DESIGN.md §11) ----
+
+// The per-deployment indexes, built once per Simulate call:
+//  * brokers     — every filter rectangle, owner = tree node id; one probe
+//                  yields the set of brokers whose filters contain e;
+//  * leaf[v]     — leaf v's subscriptions, owner = position in
+//                  subs_of_leaf[v]; a count per reached leaf replaces the
+//                  per-subscriber scan (subscriptions are single
+//                  rectangles, so a plain hit count is exact);
+//  * subscribers — all placed subscriptions, owner = subscriber index;
+//                  drives the ground-truth miss walk in O(matches).
+struct DeploymentIndex {
+  match::MatchIndex brokers;
+  std::vector<match::MatchIndex> leaf;  // by node id; empty for non-leaves
+  match::MatchIndex subscribers;
+};
+
+DeploymentIndex BuildDeploymentIndex(
+    const core::SaProblem& problem, const core::SaSolution& solution,
+    const std::vector<std::vector<int>>& subs_of_leaf) {
+  const auto& tree = problem.tree();
+  DeploymentIndex dx;
+
+  std::vector<match::OwnedRect> broker_rects;
+  for (int v = 1; v < tree.num_nodes(); ++v) {
+    for (const geo::Rectangle& r : solution.filters[v].rects()) {
+      broker_rects.push_back({v, r});
+    }
+  }
+  dx.brokers = match::BuildIndex(broker_rects, tree.num_nodes());
+
+  std::vector<match::OwnedRect> sub_rects;
+  dx.leaf.resize(tree.num_nodes());
+  for (int v : tree.leaf_brokers()) {
+    std::vector<match::OwnedRect> local;
+    local.reserve(subs_of_leaf[v].size());
+    for (int j : subs_of_leaf[v]) {
+      local.push_back({static_cast<int32_t>(local.size()),
+                       problem.subscriber(j).subscription});
+      sub_rects.push_back({j, problem.subscriber(j).subscription});
+    }
+    dx.leaf[v] = match::BuildIndex(local, static_cast<int>(local.size()));
+#if SLP_AUDITS_ENABLED
+    match::AuditIndex(dx.leaf[v], local,
+                      "dissemination leaf index " + std::to_string(v));
+#endif
+  }
+  dx.subscribers =
+      match::BuildIndex(sub_rects, problem.num_subscribers());
+#if SLP_AUDITS_ENABLED
+  match::AuditIndex(dx.brokers, broker_rects, "dissemination broker index");
+  match::AuditIndex(dx.subscribers, sub_rects,
+                    "dissemination subscriber index");
+#endif
+  return dx;
+}
+
+// Per-shard probe workspace: the probe contexts and scratch bitsets one
+// routing thread reuses across events (no allocation per event).
+struct IndexedRouter {
+  explicit IndexedRouter(const DeploymentIndex& dx, int num_nodes)
+      : broker_probe(&dx.brokers), reached(num_nodes) {}
+
+  match::MatchBatch broker_probe;
+  match::BitSet reached;  // leaves this event's DFS entered
+  std::vector<int> reached_leaves;
+  std::vector<int> stack;
+  std::vector<int32_t> sub_matched;
+};
+
+void RouteEventIndexed(const core::SaProblem& problem,
+                       const core::SaSolution& solution,
+                       const geo::Point& event, const DeploymentIndex& dx,
+                       IndexedRouter* router, DisseminationStats* stats) {
+  const auto& tree = problem.tree();
+  const double x = event[0], y = event[1];
+
+  // One probe answers e ∈ f_v for every broker v; the DFS then costs one
+  // bit test per hop instead of a rectangle scan.
+  router->broker_probe.Probe(x, y);
+  const match::BitSet& contains = router->broker_probe.owners();
+
+  router->stack.assign(tree.children(net::BrokerTree::kPublisher).begin(),
+                       tree.children(net::BrokerTree::kPublisher).end());
+  while (!router->stack.empty()) {
+    const int v = router->stack.back();
+    router->stack.pop_back();
+    if (!contains.Test(v)) continue;
+    ++stats->broker_hits[v];
+    ++stats->total_messages;
+    if (tree.is_leaf(v)) {
+      const int cnt = dx.leaf[v].CountContaining(x, y);
+      if (cnt > 0) {
+        stats->deliveries += cnt;
+      } else {
+        ++stats->wasted_leaf_hits;
+      }
+      router->reached.Set(v);
+      router->reached_leaves.push_back(v);
+    } else {
+      for (int c : tree.children(v)) router->stack.push_back(c);
+    }
+  }
+
+  // Ground truth over matching placed subscribers only: j's event was
+  // delivered iff the DFS entered j's leaf (the filter chain containing e
+  // is exactly the DFS entry condition).
+  router->sub_matched.clear();
+  dx.subscribers.AppendContaining(x, y, &router->sub_matched);
+  for (const int32_t j : router->sub_matched) {
+    if (!router->reached.Test(solution.assignment[j])) {
+      ++stats->missed_deliveries;
+    }
+  }
+
+  for (const int v : router->reached_leaves) router->reached.Reset(v);
+  router->reached_leaves.clear();
+}
+
 }  // namespace
 
 void DisseminationStats::CheckInvariants() const {
-  SLP_DCHECK(events >= 0 && total_messages >= 0 && deliveries >= 0 &&
-            wasted_leaf_hits >= 0 && missed_deliveries >= 0);
+  using audit::Category;
+  SLP_AUDIT_CHECK(Category::kDissemination,
+                  events >= 0 && total_messages >= 0 && deliveries >= 0 &&
+                      wasted_leaf_hits >= 0 && missed_deliveries >= 0 &&
+                      unplaced_subscribers >= 0,
+                  "negative dissemination counter");
   int64_t hit_sum = 0;
   for (int64_t h : broker_hits) {
-    SLP_DCHECK(h >= 0);
+    SLP_AUDIT_CHECK(Category::kDissemination, h >= 0,
+                    "negative broker hit counter");
     hit_sum += h;
   }
-  SLP_DCHECK(hit_sum == total_messages);
-  SLP_DCHECK(wasted_leaf_hits <= total_messages);
+  SLP_AUDIT_CHECK(Category::kDissemination, hit_sum == total_messages,
+                  "sum(broker_hits) != total_messages");
+  SLP_AUDIT_CHECK(Category::kDissemination,
+                  wasted_leaf_hits <= total_messages,
+                  "wasted_leaf_hits > total_messages");
 }
 
 DisseminationStats Simulate(const core::SaProblem& problem,
                             const core::SaSolution& solution,
-                            const std::vector<geo::Point>& events) {
+                            const std::vector<geo::Point>& events,
+                            const SimulateOptions& options) {
   SLP_DCHECK(static_cast<int>(solution.filters.size()) ==
-            problem.tree().num_nodes());
+             problem.tree().num_nodes());
+  const int num_nodes = problem.tree().num_nodes();
+  int unplaced = 0;
+  const std::vector<std::vector<int>> subs_of_leaf =
+      GroupSubsByLeaf(problem, solution, &unplaced);
+
+  // The index is d=2-only; other event dimensions (and the trivial empty
+  // deployment) take the linear scan.
+  const bool indexed =
+      options.engine == MatchEngine::kIndexed &&
+      problem.num_subscribers() > 0 &&
+      problem.subscriber(0).subscription.dim() == 2;
+  DeploymentIndex dx;
+  if (indexed) dx = BuildDeploymentIndex(problem, solution, subs_of_leaf);
+
+  const int num_events = static_cast<int>(events.size());
+  const int shards =
+      std::clamp(options.num_shards, 1, std::max(1, num_events));
+
+  auto route_range = [&](int begin, int end, DisseminationStats* stats) {
+    stats->broker_hits.assign(num_nodes, 0);
+    if (indexed) {
+      IndexedRouter router(dx, num_nodes);
+      for (int i = begin; i < end; ++i) {
+        ++stats->events;
+        RouteEventIndexed(problem, solution, events[i], dx, &router, stats);
+      }
+    } else {
+      for (int i = begin; i < end; ++i) {
+        ++stats->events;
+        RouteEventLinear(problem, solution, events[i], subs_of_leaf, stats);
+      }
+    }
+  };
+
   DisseminationStats stats;
-  stats.broker_hits.assign(problem.tree().num_nodes(), 0);
-  std::vector<std::vector<int>> subs_of_leaf(problem.tree().num_nodes());
-  for (int j = 0; j < problem.num_subscribers(); ++j) {
-    subs_of_leaf[solution.assignment[j]].push_back(j);
+  if (shards == 1) {
+    route_range(0, num_events, &stats);
+  } else {
+    // Contiguous shards over the shared pool. Every counter is a sum of
+    // independent per-event contributions, so the merged stats are
+    // bit-identical to serial for any shard count.
+    std::vector<DisseminationStats> parts(shards);
+    ThreadPool::Global().ParallelFor(shards, [&](int s) {
+      const int begin = static_cast<int>(
+          static_cast<int64_t>(num_events) * s / shards);
+      const int end = static_cast<int>(
+          static_cast<int64_t>(num_events) * (s + 1) / shards);
+      route_range(begin, end, &parts[s]);
+    });
+    stats.broker_hits.assign(num_nodes, 0);
+    for (const DisseminationStats& p : parts) {
+      stats.events += p.events;
+      stats.total_messages += p.total_messages;
+      stats.deliveries += p.deliveries;
+      stats.wasted_leaf_hits += p.wasted_leaf_hits;
+      stats.missed_deliveries += p.missed_deliveries;
+      for (int v = 0; v < num_nodes; ++v) {
+        stats.broker_hits[v] += p.broker_hits[v];
+      }
+    }
   }
-  for (const geo::Point& e : events) {
-    ++stats.events;
-    RouteEvent(problem, solution, e, subs_of_leaf, &stats);
-  }
+  stats.unplaced_subscribers = unplaced;
   stats.CheckInvariants();
   return stats;
 }
@@ -90,7 +301,8 @@ DisseminationStats Simulate(const core::SaProblem& problem,
 DisseminationStats SimulateUniform(const core::SaProblem& problem,
                                    const core::SaSolution& solution,
                                    const geo::Rectangle& event_box,
-                                   int num_events, Rng& rng) {
+                                   int num_events, Rng& rng,
+                                   const SimulateOptions& options) {
   std::vector<geo::Point> events;
   events.reserve(num_events);
   for (int e = 0; e < num_events; ++e) {
@@ -100,7 +312,7 @@ DisseminationStats SimulateUniform(const core::SaProblem& problem,
     }
     events.push_back(std::move(p));
   }
-  return Simulate(problem, solution, events);
+  return Simulate(problem, solution, events, options);
 }
 
 }  // namespace slp::sim

@@ -11,6 +11,19 @@
 //    subscriber matches actually reaches its leaf broker;
 //  * quantifies false positives: traffic into brokers whose subscribers
 //    did not need the event (the slack the optimizer minimizes).
+//
+// Two interchangeable matching engines drive the replay (DESIGN.md §11):
+//
+//  * kIndexed (default) — the production fast path. All broker filter
+//    rectangles go into one match::MatchIndex (owner = node id) and each
+//    leaf's subscriptions into a per-leaf index, so routing an event costs
+//    one index probe for the whole tree (a bitset of brokers whose filters
+//    contain it), a bit-test DFS per hop, and one popcount-style count per
+//    reached leaf; the ground-truth miss walk probes a global subscriber
+//    index instead of scanning all m subscriptions.
+//  * kLinear — the legacy rectangle-by-rectangle scan, kept as the
+//    differential baseline. Both engines produce bit-identical
+//    DisseminationStats on every workload (enforced by tests/match_test).
 
 #ifndef SLP_SIM_DISSEMINATION_H_
 #define SLP_SIM_DISSEMINATION_H_
@@ -22,6 +35,20 @@
 #include "src/core/problem.h"
 
 namespace slp::sim {
+
+// Which matching engine routes events.
+enum class MatchEngine {
+  kLinear,   // legacy rectangle-by-rectangle scan (differential baseline)
+  kIndexed,  // grid-indexed matching (src/match)
+};
+
+struct SimulateOptions {
+  MatchEngine engine = MatchEngine::kIndexed;
+  // Number of contiguous event shards processed in parallel on the shared
+  // thread pool. Counters are order-independent sums, so any shard count
+  // produces bit-identical stats (enforced by tests); 1 = serial.
+  int num_shards = 1;
+};
 
 // Counter-width audit (DESIGN.md §9): every cumulative counter is int64_t.
 // total_messages grows by at most num_nodes per event, so overflow needs
@@ -46,15 +73,22 @@ struct DisseminationStats {
   // Matching (subscriber, event) pairs that failed to arrive — must be 0
   // for any solution satisfying coverage + nesting.
   int64_t missed_deliveries = 0;
+  // Subscribers with no leaf assignment (assignment[j] < 0 — parked or
+  // orphaned in a DynamicAssigner/RepairEngine snapshot). They receive no
+  // traffic and are excluded from the ground-truth miss walk; counted once
+  // per simulation, not per event.
+  int unplaced_subscribers = 0;
 
   // total_messages / events: average brokers traversed per event.
   double MeanMessagesPerEvent() const {
     return events > 0 ? static_cast<double>(total_messages) / events : 0;
   }
 
-  // Asserts the cross-counter identities: all counters non-negative,
+  // Checks the cross-counter identities: all counters non-negative,
   // Σ broker_hits == total_messages, and wasted leaf hits cannot exceed
-  // total broker entries. Cheap; called once per simulation.
+  // total broker entries. Always compiled (SLP_AUDIT_CHECK with
+  // Category::kDissemination), so Release builds validate too; cheap,
+  // called once per simulation.
   void CheckInvariants() const;
 };
 
@@ -63,12 +97,14 @@ struct DisseminationStats {
 DisseminationStats SimulateUniform(const core::SaProblem& problem,
                                    const core::SaSolution& solution,
                                    const geo::Rectangle& event_box,
-                                   int num_events, Rng& rng);
+                                   int num_events, Rng& rng,
+                                   const SimulateOptions& options = {});
 
 // Routes caller-supplied events (e.g., from a non-uniform distribution).
 DisseminationStats Simulate(const core::SaProblem& problem,
                             const core::SaSolution& solution,
-                            const std::vector<geo::Point>& events);
+                            const std::vector<geo::Point>& events,
+                            const SimulateOptions& options = {});
 
 }  // namespace slp::sim
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "src/common/invariant.h"
 #include "src/core/greedy.h"
 #include "src/core/metrics.h"
+#include "src/match/audit.h"
+#include "src/match/match_index.h"
 
 namespace slp::sim {
 
@@ -81,6 +84,114 @@ std::vector<std::vector<int>> HandlesByLeaf(const core::DynamicAssigner& dyn) {
   return out;
 }
 
+// ---- Indexed live routing (DESIGN.md §11) ----
+//
+// The live analogue of the dissemination DeploymentIndex, rebuilt whenever
+// placement changes (the same trigger that refreshes HandlesByLeaf):
+//  * brokers — current filter rectangles of every *live* broker (failed
+//    brokers are excluded at build time, so they can never be probed in);
+//  * leaf[v] — live leaf v's placed subscriptions, for the delivery count;
+//  * handles — every occupied handle (placed, orphaned, or parked), for
+//    the ground-truth miss-attribution walk in O(matches) per event.
+struct LiveEngine {
+  match::MatchIndex brokers;
+  std::vector<match::MatchIndex> leaf;  // by node id
+  match::MatchIndex handles;
+};
+
+LiveEngine BuildLiveEngine(const core::DynamicAssigner& dyn,
+                           const std::vector<std::vector<int>>&
+                               handles_of_leaf) {
+  const net::BrokerTree& tree = dyn.tree();
+  LiveEngine eng;
+
+  std::vector<match::OwnedRect> broker_rects;
+  for (int v = 1; v < tree.num_nodes(); ++v) {
+    if (tree.is_failed(v)) continue;
+    for (const geo::Rectangle& r : dyn.filter(v)) {
+      broker_rects.push_back({v, r});
+    }
+  }
+  eng.brokers = match::BuildIndex(broker_rects, tree.num_nodes());
+
+  eng.leaf.resize(tree.num_nodes());
+  for (int v : tree.live_leaf_brokers()) {
+    std::vector<match::OwnedRect> local;
+    local.reserve(handles_of_leaf[v].size());
+    for (int h : handles_of_leaf[v]) {
+      local.push_back({static_cast<int32_t>(local.size()),
+                       dyn.subscriber(h).subscription});
+    }
+    eng.leaf[v] = match::BuildIndex(local, static_cast<int>(local.size()));
+  }
+
+  std::vector<match::OwnedRect> handle_rects;
+  for (int h = 0; h < dyn.slot_count(); ++h) {
+    if (!dyn.is_occupied(h)) continue;
+    handle_rects.push_back({h, dyn.subscriber(h).subscription});
+  }
+  eng.handles = match::BuildIndex(handle_rects, dyn.slot_count());
+#if SLP_AUDITS_ENABLED
+  match::AuditIndex(eng.brokers, broker_rects, "fault-replay broker index");
+  match::AuditIndex(eng.handles, handle_rects, "fault-replay handle index");
+#endif
+  return eng;
+}
+
+// Per-replay probe workspace; recreated with the engine on rebuilds (the
+// MatchBatch holds a pointer into it).
+struct LiveRouter {
+  LiveRouter(const LiveEngine& eng, int num_nodes)
+      : broker_probe(&eng.brokers), reached(num_nodes) {}
+
+  match::MatchBatch broker_probe;
+  match::BitSet reached;  // live leaves this event's DFS entered
+  std::vector<int> reached_leaves;
+  std::vector<int> stack;
+  std::vector<int32_t> matched_handles;
+};
+
+// Indexed replacement for RouteLiveEvent: one probe per event, a bit test
+// per live hop, a hit count per reached leaf. Leaves router->reached set
+// for the ground-truth walk; the caller clears it via ClearReached.
+void RouteLiveEventIndexed(const core::DynamicAssigner& dyn,
+                           const geo::Point& event, const LiveEngine& eng,
+                           LiveRouter* router, DisseminationStats* stats) {
+  const net::BrokerTree& tree = dyn.tree();
+  const double x = event[0], y = event[1];
+  router->broker_probe.Probe(x, y);
+  const match::BitSet& contains = router->broker_probe.owners();
+
+  router->stack.assign(
+      tree.live_children(net::BrokerTree::kPublisher).begin(),
+      tree.live_children(net::BrokerTree::kPublisher).end());
+  while (!router->stack.empty()) {
+    const int v = router->stack.back();
+    router->stack.pop_back();
+    SLP_DCHECK(!tree.is_failed(v));
+    if (!contains.Test(v)) continue;
+    ++stats->broker_hits[v];
+    ++stats->total_messages;
+    if (tree.is_leaf(v)) {
+      const int cnt = eng.leaf[v].CountContaining(x, y);
+      if (cnt > 0) {
+        stats->deliveries += cnt;
+      } else {
+        ++stats->wasted_leaf_hits;
+      }
+      router->reached.Set(v);
+      router->reached_leaves.push_back(v);
+    } else {
+      for (int c : tree.live_children(v)) router->stack.push_back(c);
+    }
+  }
+}
+
+void ClearReached(LiveRouter* router) {
+  for (const int v : router->reached_leaves) router->reached.Reset(v);
+  router->reached_leaves.clear();
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
@@ -128,6 +239,24 @@ Result<FaultReplayResult> ReplayWithFaults(
   core::RepairEngine engine(&dyn, options.repair);
   std::vector<std::vector<int>> handles_of_leaf = HandlesByLeaf(dyn);
   bool placement_dirty = false;
+
+  // Indexed matching is d=2-only; other dimensions (and the empty
+  // population) take the legacy linear scans.
+  bool indexed = false;
+  if (options.engine == MatchEngine::kIndexed) {
+    for (int h = 0; h < dyn.slot_count(); ++h) {
+      if (!dyn.is_occupied(h)) continue;
+      indexed = dyn.subscriber(h).subscription.dim() == 2;
+      break;
+    }
+  }
+  LiveEngine live_engine;
+  std::unique_ptr<LiveRouter> router;
+  if (indexed) {
+    live_engine = BuildLiveEngine(dyn, handles_of_leaf);
+    router = std::make_unique<LiveRouter>(live_engine,
+                                          dyn.tree().num_nodes());
+  }
 
   EpochRecoveryStats epoch;
   epoch.first_event = 0;
@@ -178,30 +307,66 @@ Result<FaultReplayResult> ReplayWithFaults(
     // 3. Route the event over the live overlay.
     if (placement_dirty) {
       handles_of_leaf = HandlesByLeaf(dyn);
+      if (indexed) {
+        live_engine = BuildLiveEngine(dyn, handles_of_leaf);
+        router = std::make_unique<LiveRouter>(live_engine,
+                                              dyn.tree().num_nodes());
+      }
       placement_dirty = false;
     }
     const geo::Point& event = events[i];
     ++result.stats.events;
     ++epoch.num_events;
-    RouteLiveEvent(dyn, event, handles_of_leaf, &result.stats);
+    if (indexed) {
+      RouteLiveEventIndexed(dyn, event, live_engine, router.get(),
+                            &result.stats);
+    } else {
+      RouteLiveEvent(dyn, event, handles_of_leaf, &result.stats);
+    }
 
-    // 4. Ground truth: attribute every miss to its cause.
-    for (int h = 0; h < dyn.slot_count(); ++h) {
-      if (!dyn.is_occupied(h)) continue;
-      if (!dyn.subscriber(h).subscription.ContainsPoint(event)) continue;
-      const int leaf = dyn.leaf_of(h);
-      if (leaf < 0) {
-        // Orphaned, or degraded and parked unplaced: the outage's price.
-        ++result.missed_outage;
-        ++epoch.missed_outage;
-        continue;
+    // 4. Ground truth: attribute every miss to its cause. The indexed
+    // engine probes the handle index (O(matching handles) per event) and
+    // tests the reached bit the routing DFS left behind; the linear engine
+    // scans every occupied handle and re-walks the live path.
+    if (indexed) {
+      router->matched_handles.clear();
+      live_engine.handles.AppendContaining(event[0], event[1],
+                                           &router->matched_handles);
+      for (const int32_t h : router->matched_handles) {
+        const int leaf = dyn.leaf_of(h);
+        if (leaf < 0) {
+          // Orphaned, or degraded and parked unplaced: the outage's price.
+          ++result.missed_outage;
+          ++epoch.missed_outage;
+          continue;
+        }
+        if (router->reached.Test(leaf)) continue;
+        if (dyn.state(h) == core::SubscriberState::kLive) {
+          ++result.missed_live;
+          ++result.stats.missed_deliveries;
+        } else {
+          ++result.missed_degraded;
+        }
       }
-      if (ReachedOverLivePath(dyn, leaf, event)) continue;
-      if (dyn.state(h) == core::SubscriberState::kLive) {
-        ++result.missed_live;
-        ++result.stats.missed_deliveries;
-      } else {
-        ++result.missed_degraded;
+      ClearReached(router.get());
+    } else {
+      for (int h = 0; h < dyn.slot_count(); ++h) {
+        if (!dyn.is_occupied(h)) continue;
+        if (!dyn.subscriber(h).subscription.ContainsPoint(event)) continue;
+        const int leaf = dyn.leaf_of(h);
+        if (leaf < 0) {
+          // Orphaned, or degraded and parked unplaced: the outage's price.
+          ++result.missed_outage;
+          ++epoch.missed_outage;
+          continue;
+        }
+        if (ReachedOverLivePath(dyn, leaf, event)) continue;
+        if (dyn.state(h) == core::SubscriberState::kLive) {
+          ++result.missed_live;
+          ++result.stats.missed_deliveries;
+        } else {
+          ++result.missed_degraded;
+        }
       }
     }
 

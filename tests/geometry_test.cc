@@ -379,6 +379,34 @@ TEST(KMeansTest, KGreaterThanNGivesSingletons) {
   EXPECT_EQ(labels.size(), 3u);
 }
 
+TEST(RectangleTest, AbuttingEdgeClosedContainment) {
+  // The boundary convention (rectangle.h): containment is closed, so a
+  // point exactly on the shared edge of two abutting rectangles is inside
+  // BOTH — while the measure-theoretic union volume never double-counts
+  // the shared face.
+  const Rectangle left({0, 0}, {0.5, 1});
+  const Rectangle right({0.5, 0}, {1, 1});
+  const Point on_edge = {0.5, 0.3};
+  EXPECT_TRUE(left.ContainsPoint(on_edge));
+  EXPECT_TRUE(right.ContainsPoint(on_edge));
+  EXPECT_TRUE(left.OnBoundary(on_edge));
+  EXPECT_TRUE(right.OnBoundary(on_edge));
+  EXPECT_FALSE(left.OnBoundary({0.3, 0.3}));     // interior
+  EXPECT_FALSE(right.OnBoundary({0.49, 0.3}));   // not contained at all
+  Filter both({left, right});
+  EXPECT_DOUBLE_EQ(both.UnionVolume(), 1.0);     // no double count
+  // Corners enumerate exactly; the shared corner belongs to both boxes.
+  EXPECT_EQ(left.Corner(0), (Point{0, 0}));
+  EXPECT_EQ(left.Corner(1), (Point{0.5, 0}));
+  EXPECT_EQ(left.Corner(3), (Point{0.5, 1}));
+  EXPECT_TRUE(right.ContainsPoint(left.Corner(3)));
+  // Degenerate point box: contains exactly its point, all on boundary.
+  const Rectangle pt = Rectangle::FromPoint({0.5, 0.5});
+  EXPECT_TRUE(pt.ContainsPoint({0.5, 0.5}));
+  EXPECT_TRUE(pt.OnBoundary({0.5, 0.5}));
+  EXPECT_FALSE(pt.ContainsPoint({0.5, 0.5000001}));
+}
+
 TEST(KMeansTest, SinglePointSingleCluster) {
   Rng rng(23);
   std::vector<Point> pts = {{5, 5}};
