@@ -1,0 +1,361 @@
+// Million-subscriber scale benchmark (DESIGN.md §12): wall time and memory
+// of the SLP pipeline at 100k and 1M subscribers on the grid workload.
+//
+// Three comparisons per size:
+//  * candidate-table build — the historical nested vector<vector<...>>
+//    layout (reimplemented here as the baseline) vs the flat CSR build,
+//    serial and sharded, with an in-run differential (nested == CSR) and
+//    a bit-identity check (sharded CSR == serial CSR);
+//  * end-to-end SLP over the multi-level tree (paper out-degree 15) —
+//    serial vs sharded, asserted bit-identical in-run;
+//  * dynamic arrivals — sequential Add vs one AddBatch, asserted to land
+//    identical loads with fewer escalation-rung scans.
+//
+// Memory is reported two ways: exact bytes held by each candidate layout
+// (capacity accounting, deterministic) and the process peak RSS
+// (getrusage ru_maxrss, monotone across the run — the 1M row's value is
+// the honest pipeline peak).
+//
+// Scales: SLP_SCALE_MAX caps the largest size (default 1000000);
+// SLP_BROKERS (default 100), SLP_SHARDS (default 8), SLP_SEED as usual.
+// Prints a table and writes BENCH_scale.json (argv[1] or
+// SLP_BENCH_SCALE_JSON; default ./BENCH_scale.json).
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/candidates.h"
+#include "src/core/dynamic.h"
+
+namespace slp::bench {
+namespace {
+
+long PeakRssKb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+// The pre-CSR candidate layout: one heap-allocated row pair per
+// subscriber. Kept as the benchmark baseline so the CSR win stays
+// measured, not remembered.
+struct NestedTargets {
+  std::vector<std::vector<int>> candidates;
+  std::vector<std::vector<double>> latency;
+};
+
+NestedTargets BuildNestedLeafTargets(const core::SaProblem& problem) {
+  const int m = problem.num_subscribers();
+  NestedTargets t;
+  t.candidates.resize(m);
+  t.latency.resize(m);
+  std::vector<std::pair<double, int>> row;
+  for (int j = 0; j < m; ++j) {
+    row.clear();
+    const double bound = problem.latency_bound(j);
+    for (int i = 0; i < problem.num_leaves(); ++i) {
+      const double lat = problem.AssignmentLatency(j, problem.leaf_node(i));
+      if (lat <= bound + 1e-12) row.emplace_back(lat, i);
+    }
+    std::sort(row.begin(), row.end());
+    t.candidates[j].reserve(row.size());
+    t.latency[j].reserve(row.size());
+    for (const auto& [lat, i] : row) {
+      t.candidates[j].push_back(i);
+      t.latency[j].push_back(lat);
+    }
+  }
+  return t;
+}
+
+size_t NestedBytes(const NestedTargets& t) {
+  size_t bytes = t.candidates.capacity() * sizeof(std::vector<int>) +
+                 t.latency.capacity() * sizeof(std::vector<double>);
+  for (const auto& r : t.candidates) bytes += r.capacity() * sizeof(int);
+  for (const auto& r : t.latency) bytes += r.capacity() * sizeof(double);
+  return bytes;
+}
+
+// Touched bytes — what the layout actually keeps resident. The CSR build's
+// probe reserve can leave a few percent of slack capacity past size(), but
+// that tail is never written and so never faulted in: it occupies address
+// space, not memory. The reserved (capacity) figure is reported separately
+// as csr_reserved_bytes so the slack stays visible.
+size_t CsrBytes(const core::Targets& t) {
+  return t.cand_offsets.size() * sizeof(int64_t) +
+         t.cand_targets.size() * sizeof(int32_t) +
+         t.cand_latency.size() * sizeof(double);
+}
+
+size_t CsrReservedBytes(const core::Targets& t) {
+  return t.cand_offsets.capacity() * sizeof(int64_t) +
+         t.cand_targets.capacity() * sizeof(int32_t) +
+         t.cand_latency.capacity() * sizeof(double);
+}
+
+bool NestedEqualsCsr(const NestedTargets& nested, const core::Targets& csr) {
+  if (static_cast<int>(nested.candidates.size()) != csr.num_rows()) {
+    return false;
+  }
+  for (int r = 0; r < csr.num_rows(); ++r) {
+    const core::CandidateRow row = csr.candidates(r);
+    const auto& cand = nested.candidates[r];
+    if (static_cast<int>(cand.size()) != row.size()) return false;
+    for (int k = 0; k < row.size(); ++k) {
+      if (cand[k] != row[k] || nested.latency[r][k] != row.latency(k)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SolutionsIdentical(const core::SaSolution& a, const core::SaSolution& b) {
+  if (a.assignment != b.assignment) return false;
+  if (a.load_feasible != b.load_feasible) return false;
+  if (a.filters.size() != b.filters.size()) return false;
+  for (size_t v = 0; v < a.filters.size(); ++v) {
+    if (!(a.filters[v].rects() == b.filters[v].rects())) return false;
+  }
+  return a.fractional_lower_bound == b.fractional_lower_bound;
+}
+
+struct Row {
+  int subscribers = 0;
+  int brokers = 0;
+  double gen_seconds = 0;
+  double nested_build_seconds = 0;
+  double csr_build_seconds = 0;
+  double csr_sharded_build_seconds = 0;
+  size_t nested_bytes = 0;
+  size_t csr_bytes = 0;
+  size_t csr_reserved_bytes = 0;
+  bool nested_csr_identical = false;
+  bool csr_sharded_identical = false;
+  double slp_serial_seconds = 0;
+  double slp_sharded_seconds = 0;
+  bool slp_sharded_identical = false;
+  double add_seq_seconds = 0;
+  double add_batch_seconds = 0;
+  int64_t add_seq_scans = 0;
+  int64_t add_batch_scans = 0;
+  bool add_batch_identical = false;
+  long peak_rss_kb = 0;
+};
+
+Row RunSize(int m, int brokers, int shards, uint64_t seed) {
+  Row row;
+  row.subscribers = m;
+  row.brokers = brokers;
+
+  wl::GridParams params;
+  params.num_subscribers = m;
+  params.num_brokers = brokers;
+  params.seed = seed;
+  WallTimer gen_timer;
+  const wl::Workload w = wl::GenerateGrid(params);
+  row.gen_seconds = gen_timer.Seconds();
+
+  core::SaConfig config;
+  config.max_delay = 1.0;
+
+  // ---- Candidate-table build: nested baseline vs CSR ----
+  {
+    core::SaProblem problem = MakeOneLevelProblem(w, config);
+    const std::vector<int> subs = core::AllSubscribers(problem);
+
+    core::Targets csr;
+    {
+      WallTimer nested_timer;
+      const NestedTargets nested = BuildNestedLeafTargets(problem);
+      row.nested_build_seconds = nested_timer.Seconds();
+      row.nested_bytes = NestedBytes(nested);
+
+      WallTimer csr_timer;
+      csr = core::BuildLeafTargets(problem, subs, /*num_shards=*/1);
+      row.csr_build_seconds = csr_timer.Seconds();
+      row.csr_bytes = CsrBytes(csr);
+      row.csr_reserved_bytes = CsrReservedBytes(csr);
+      row.nested_csr_identical = NestedEqualsCsr(nested, csr);
+      // The nested baseline dies here: on this class of VM, first-touch of
+      // fresh pages gets sharply more expensive as net RSS grows, so the
+      // sharded build below should not be charged for ~1GB of dead
+      // baseline the process is still holding.
+    }
+
+    WallTimer sharded_timer;
+    const core::Targets sharded = core::BuildLeafTargets(problem, subs, shards);
+    row.csr_sharded_build_seconds = sharded_timer.Seconds();
+    row.csr_sharded_identical = csr.cand_offsets == sharded.cand_offsets &&
+                                csr.cand_targets == sharded.cand_targets &&
+                                csr.cand_latency == sharded.cand_latency;
+  }
+
+  // ---- End-to-end SLP: serial vs sharded ----
+  {
+    const core::SaProblem problem = MakeMultiLevelProblem(w, config, 15, seed);
+
+    core::SlpOptions serial;
+    serial.num_threads = 1;
+    Rng rng_serial(seed);
+    WallTimer serial_timer;
+    auto a = core::RunSlp(problem, serial, rng_serial);
+    row.slp_serial_seconds = serial_timer.Seconds();
+
+    core::SlpOptions sharded;
+    sharded.num_threads = 0;
+    sharded.num_shards = shards;
+    Rng rng_sharded(seed);
+    WallTimer sharded_timer;
+    auto b = core::RunSlp(problem, sharded, rng_sharded);
+    row.slp_sharded_seconds = sharded_timer.Seconds();
+
+    row.slp_sharded_identical =
+        a.ok() && b.ok() && SolutionsIdentical(a.value(), b.value());
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "SLP failed at m=%d: %s\n", m,
+                   (a.ok() ? b : a).status().ToString().c_str());
+    }
+  }
+
+  // ---- Dynamic arrivals: sequential Add vs AddBatch ----
+  {
+    net::BrokerTree tree =
+        net::BuildOneLevelTree(w.publisher, w.broker_locations);
+    core::SaConfig dyn_config;
+    dyn_config.max_delay = 3.0;
+    // Caps below the arrival count so the escalation ladder is exercised.
+    core::DynamicAssigner seq(tree, dyn_config, m / 2);
+    core::DynamicAssigner bat(std::move(tree), dyn_config, m / 2);
+
+    WallTimer seq_timer;
+    for (const auto& s : w.subscribers) (void)seq.Add(s);
+    row.add_seq_seconds = seq_timer.Seconds();
+    row.add_seq_scans = seq.add_stats().escalation_scans;
+
+    WallTimer bat_timer;
+    auto handles = bat.AddBatch(w.subscribers);
+    row.add_batch_seconds = bat_timer.Seconds();
+    row.add_batch_scans = bat.add_stats().escalation_scans;
+    row.add_batch_identical = handles.ok() && seq.loads() == bat.loads() &&
+                              seq.population() == bat.population();
+  }
+
+  row.peak_rss_kb = PeakRssKb();
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const char* env = std::getenv("SLP_BENCH_SCALE_JSON");
+  const std::string json_path =
+      argc > 1 ? argv[1] : (env != nullptr ? env : "BENCH_scale.json");
+
+  const int max_subs = EnvInt("SLP_SCALE_MAX", 1000000);
+  const int brokers = EnvInt("SLP_BROKERS", 100);
+  const int shards = EnvInt("SLP_SHARDS", 8);
+  const uint64_t seed = EnvSeed();
+
+  std::vector<int> sizes = {100000, 1000000};
+  sizes.erase(std::remove_if(sizes.begin(), sizes.end(),
+                             [&](int s) { return s > max_subs; }),
+              sizes.end());
+  if (sizes.empty()) sizes.push_back(max_subs);
+
+  PrintHeader("Scale pipeline (grid workload, " + std::to_string(brokers) +
+              " brokers, " + std::to_string(shards) + " shards)");
+
+  std::vector<Row> rows;
+  for (int m : sizes) rows.push_back(RunSize(m, brokers, shards, seed));
+
+  std::printf("%-10s %12s %12s %12s %10s %10s %12s %12s %12s %12s %10s\n",
+              "subs", "nested(s)", "csr(s)", "csr-shard(s)", "nested-MB",
+              "csr-MB", "slp-ser(s)", "slp-shard(s)", "add-seq(s)",
+              "add-batch(s)", "peakRSS-MB");
+  for (const Row& r : rows) {
+    std::printf(
+        "%-10d %12.3f %12.3f %12.3f %10.1f %10.1f %12.2f %12.2f %12.2f "
+        "%12.2f %10.1f\n",
+        r.subscribers, r.nested_build_seconds, r.csr_build_seconds,
+        r.csr_sharded_build_seconds, r.nested_bytes / 1048576.0,
+        r.csr_bytes / 1048576.0, r.slp_serial_seconds, r.slp_sharded_seconds,
+        r.add_seq_seconds, r.add_batch_seconds, r.peak_rss_kb / 1024.0);
+  }
+
+  bool all_checks = true;
+  for (const Row& r : rows) {
+    all_checks &= r.nested_csr_identical && r.csr_sharded_identical &&
+                  r.slp_sharded_identical && r.add_batch_identical;
+    std::printf(
+        "m=%d checks: nested==csr %s, sharded-csr identical %s, "
+        "sharded-slp identical %s, addbatch==add %s "
+        "(scans %lld -> %lld)\n",
+        r.subscribers, r.nested_csr_identical ? "ok" : "FAIL",
+        r.csr_sharded_identical ? "ok" : "FAIL",
+        r.slp_sharded_identical ? "ok" : "FAIL",
+        r.add_batch_identical ? "ok" : "FAIL",
+        static_cast<long long>(r.add_seq_scans),
+        static_cast<long long>(r.add_batch_scans));
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"grid\",\n");
+  std::fprintf(f, "  \"brokers\": %d,\n  \"num_shards\": %d,\n", brokers,
+               shards);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"subscribers\": %d,\n", r.subscribers);
+    std::fprintf(f, "      \"gen_seconds\": %.3f,\n", r.gen_seconds);
+    std::fprintf(f, "      \"nested_build_seconds\": %.3f,\n",
+                 r.nested_build_seconds);
+    std::fprintf(f, "      \"csr_build_seconds\": %.3f,\n",
+                 r.csr_build_seconds);
+    std::fprintf(f, "      \"csr_sharded_build_seconds\": %.3f,\n",
+                 r.csr_sharded_build_seconds);
+    std::fprintf(f, "      \"nested_bytes\": %zu,\n", r.nested_bytes);
+    std::fprintf(f, "      \"csr_bytes\": %zu,\n", r.csr_bytes);
+    std::fprintf(f, "      \"csr_reserved_bytes\": %zu,\n",
+                 r.csr_reserved_bytes);
+    std::fprintf(f, "      \"nested_csr_identical\": %s,\n",
+                 r.nested_csr_identical ? "true" : "false");
+    std::fprintf(f, "      \"csr_sharded_identical\": %s,\n",
+                 r.csr_sharded_identical ? "true" : "false");
+    std::fprintf(f, "      \"slp_serial_seconds\": %.2f,\n",
+                 r.slp_serial_seconds);
+    std::fprintf(f, "      \"slp_sharded_seconds\": %.2f,\n",
+                 r.slp_sharded_seconds);
+    std::fprintf(f, "      \"slp_sharded_identical\": %s,\n",
+                 r.slp_sharded_identical ? "true" : "false");
+    std::fprintf(f, "      \"add_seq_seconds\": %.2f,\n", r.add_seq_seconds);
+    std::fprintf(f, "      \"add_batch_seconds\": %.2f,\n",
+                 r.add_batch_seconds);
+    std::fprintf(f, "      \"add_seq_escalation_scans\": %lld,\n",
+                 static_cast<long long>(r.add_seq_scans));
+    std::fprintf(f, "      \"add_batch_escalation_scans\": %lld,\n",
+                 static_cast<long long>(r.add_batch_scans));
+    std::fprintf(f, "      \"add_batch_identical\": %s,\n",
+                 r.add_batch_identical ? "true" : "false");
+    std::fprintf(f, "      \"peak_rss_kb\": %ld\n", r.peak_rss_kb);
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_checks ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace slp::bench
+
+int main(int argc, char** argv) { return slp::bench::Main(argc, argv); }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the scale benchmark, leaving BENCH_scale.json
+# in the repo root: wall time and peak RSS of the million-subscriber
+# pipeline — nested-vector candidate baseline vs the flat CSR build
+# (serial and sharded), end-to-end SLP serial vs sharded, and sequential
+# Add vs AddBatch — at 100k and 1M subscribers, with in-run differential
+# and bit-identity checks (the binary exits nonzero on any mismatch).
+#
+# Usage: scripts/bench_scale.sh [build-dir]   (default: build-release)
+# SLP_SCALE_MAX caps the largest size (e.g. 100000 for a smoke run).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-release}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target bench_scale -j
+"$BUILD_DIR/bench/bench_scale" BENCH_scale.json
+echo "BENCH_scale.json:"
+cat BENCH_scale.json

@@ -26,6 +26,28 @@ import re
 import sys
 
 FINDINGS = []
+WARNINGS = []
+
+# Flat-layout hygiene (DESIGN.md §12): the hot-path candidate tables moved
+# from vector-of-vector rows to flat CSR arrays; new nested-vector storage
+# in the core/match hot paths usually belongs in that layout instead. The
+# check is WARNING-level only (never affects the exit status): the counts
+# below are the grandfathered occurrences per file at the time of the CSR
+# refactor — a file exceeding its baseline (or a new file introducing one)
+# gets a nudge, not a failure.
+NESTED_VECTOR_DIRS = ("src/core", "src/match")
+NESTED_VECTOR_BASELINE = {
+    "src/core/balance.cc": 3,
+    "src/core/dynamic.h": 2,
+    "src/core/filter_adjust.cc": 3,
+    "src/core/filter_assign.cc": 1,
+    "src/core/filter_gen.cc": 2,
+    "src/core/greedy.cc": 4,
+    "src/core/lp_relax.cc": 2,
+    "src/core/slp.cc": 4,
+    "src/core/slp.h": 1,
+    "src/core/subscription_assign.cc": 6,
+}
 
 
 def strip_comments_and_strings(text):
@@ -159,6 +181,21 @@ def check_unordered_iteration(path, code):
                    "hash-order-dependent")
 
 
+def check_nested_vectors(path, code):
+    rel = path.as_posix()
+    if not rel.startswith(NESTED_VECTOR_DIRS):
+        return
+    count = len(re.findall(r"std::vector<\s*std::vector<", code))
+    baseline = NESTED_VECTOR_BASELINE.get(rel, 0)
+    if count > baseline:
+        first = re.search(r"std::vector<\s*std::vector<", code)
+        WARNINGS.append(
+            f"{rel}:{line_of(code, first.start())}: [prefer-flat-layout] "
+            f"{count} nested vector<vector<...>> (baseline {baseline}); "
+            "hot-path row storage belongs in a flat CSR layout "
+            "(src/core/candidates.h)")
+
+
 def main():
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
@@ -174,6 +211,11 @@ def main():
         check_slp_check(rel, code)
         check_randomness(rel, code)
         check_unordered_iteration(rel, code)
+        check_nested_vectors(rel, code)
+    if WARNINGS:
+        print(f"lint.py: {len(WARNINGS)} warning(s) (non-fatal)")
+        for w in WARNINGS:
+            print("  " + w)
     if FINDINGS:
         print(f"lint.py: {len(FINDINGS)} finding(s)")
         for f in FINDINGS:

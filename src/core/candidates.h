@@ -6,19 +6,49 @@
 // child subtrees, with optimistic latency (minimum over the subtree's
 // leaves) and aggregated capacity. Targets abstracts both so FilterAssign /
 // LPRelax / the max-flow assignment are written once.
+//
+// Storage is CSR (compressed sparse row): one flat int32 target array and
+// one flat latency array for all rows, with per-row offsets. At 1M
+// subscribers the historical vector<vector<...>> layout spent most of its
+// time in the allocator and pointer-chasing; the flat layout is one
+// allocation per array and scans contiguously. Call sites read rows
+// through the thin CandidateRow view.
 
 #ifndef SLP_CORE_CANDIDATES_H_
 #define SLP_CORE_CANDIDATES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/core/problem.h"
 
 namespace slp::core {
 
+// Read-only view of one subscriber row of a CSR Targets: the
+// latency-feasible targets sorted by latency ascending (ties by target
+// id), with the matching latency values. Iteration yields target ids, as
+// the historical nested-vector rows did.
+class CandidateRow {
+ public:
+  CandidateRow(const int32_t* targets, const double* latency, int size)
+      : targets_(targets), latency_(latency), size_(size) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int operator[](int k) const { return targets_[k]; }
+  double latency(int k) const { return latency_[k]; }
+  const int32_t* begin() const { return targets_; }
+  const int32_t* end() const { return targets_ + size_; }
+
+ private:
+  const int32_t* targets_;
+  const double* latency_;
+  int size_;
+};
+
 // One SLP1 run's assignable targets for a subset of subscribers.
 // `subscribers[r]` is the problem-level subscriber index of local row r;
-// all per-subscriber vectors are indexed by the local row r.
+// candidate rows are indexed by the local row r.
 struct Targets {
   int count = 0;
   // Global capacity fraction of each target (sums to the fraction of the
@@ -30,10 +60,26 @@ struct Targets {
   int total_subscribers = 0;
 
   std::vector<int> subscribers;  // local row -> problem subscriber index
-  // Per local row: latency-feasible targets, sorted by latency ascending,
-  // with the matching latency values.
-  std::vector<std::vector<int>> candidates;
-  std::vector<std::vector<double>> candidate_latency;
+
+  // CSR candidate storage: row r's candidates are
+  // cand_targets[cand_offsets[r] .. cand_offsets[r+1]) with latencies in
+  // the parallel cand_latency slice. Each row is sorted by latency
+  // ascending, ties by target id — a load-bearing contract: consumers walk
+  // rows nearest-first to unbounded depth (GreedyPartition scans until
+  // capacity admits the subscriber; the enrichment pass in
+  // subscription_assign.cc scans until it finds an assigned broker), so no
+  // top-k prefix short of the whole row is safe to cap at.
+  std::vector<int64_t> cand_offsets;  // size rows + 1
+  std::vector<int32_t> cand_targets;
+  std::vector<double> cand_latency;
+
+  int num_rows() const { return static_cast<int>(subscribers.size()); }
+
+  CandidateRow candidates(int r) const {
+    const int64_t begin = cand_offsets[r];
+    return {cand_targets.data() + begin, cand_latency.data() + begin,
+            static_cast<int>(cand_offsets[r + 1] - begin)};
+  }
 
   // Absolute load cap of target t at load-balance factor `lbf`.
   double AbsCap(int t, double lbf) const {
@@ -44,20 +90,29 @@ struct Targets {
 // Targets = leaf brokers; candidate lists are the latency-feasible leaves
 // (always non-empty: the Δ-achieving leaf satisfies any max_delay >= 0).
 // `sub_indices` selects the subscribers (pass all indices for a full run).
+// With num_shards > 1 the row range is split into that many contiguous
+// shards built on the shared pool; rows are independent and shard results
+// are concatenated in row order, so any shard count is bit-identical to
+// serial.
 Targets BuildLeafTargets(const SaProblem& problem,
-                         const std::vector<int>& sub_indices);
+                         const std::vector<int>& sub_indices,
+                         int num_shards = 1);
 
 // Targets = children of `node`; a child is a candidate for a subscriber if
 // the *optimistic* latency — min over the child's subtree leaves of
 // (root-path latency + last hop) — meets the subscriber's bound. kappa of a
-// child is the sum of its subtree leaves' fractions.
+// child is the sum of its subtree leaves' fractions (precomputed on the
+// problem). Sharding as in BuildLeafTargets.
 Targets BuildChildTargets(const SaProblem& problem,
-                          const std::vector<int>& sub_indices, int node);
+                          const std::vector<int>& sub_indices, int node,
+                          int num_shards = 1);
 
 // Convenience: every subscriber index of the problem.
 std::vector<int> AllSubscribers(const SaProblem& problem);
 
 // Leaf node ids in the subtree rooted at `node` (node itself if leaf).
+// Reads the tree's memoized flat subtree-leaf table; same order as the
+// historical per-call tree walk.
 std::vector<int> SubtreeLeaves(const net::BrokerTree& tree, int node);
 
 }  // namespace slp::core

@@ -119,9 +119,11 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
   if (live_leaves.empty()) {
     return Status::Infeasible("no live leaf broker");
   }
+  ++add_stats_.arrivals;
   const double bound = LatencyBound(s);
   for (double lbf : {config_.beta, config_.beta_max,
                      std::numeric_limits<double>::infinity()}) {
+    ++add_stats_.escalation_scans;
     int best = -1;
     double best_cost = std::numeric_limits<double>::infinity();
     for (int leaf : live_leaves) {
@@ -130,6 +132,7 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
       if (std::isfinite(lbf) && loads_[idx] + 1 > LoadCap(lbf) + 1e-9) {
         continue;
       }
+      ++add_stats_.cost_evals;
       const double cost = IncorporationCost(s, leaf);
       if (cost < best_cost) {
         best_cost = cost;
@@ -141,11 +144,13 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
   // Failures took every leaf that met the static promise: admit at the
   // smallest latency excess (ties by enlargement cost); Add records the
   // excess as a degradation.
+  ++add_stats_.escalation_scans;
   int best = -1;
   double best_excess = std::numeric_limits<double>::infinity();
   double best_cost = std::numeric_limits<double>::infinity();
   for (int leaf : live_leaves) {
     const double excess = LatencyAt(s, leaf) - bound;
+    ++add_stats_.cost_evals;
     const double cost = IncorporationCost(s, leaf);
     if (excess < best_excess - 1e-12 ||
         (excess < best_excess + 1e-12 && cost < best_cost)) {
@@ -198,12 +203,123 @@ Result<int> DynamicAssigner::Add(const wl::Subscriber& subscriber) {
   SLP_RETURN_IF_ERROR(GrowPathFilters(leaf, subscriber.subscription));
   ++loads_[leaf_index_[leaf]];
   ++population_;
+  return CommitSlot(subscriber, leaf);
+}
 
+Result<std::vector<int>> DynamicAssigner::AddBatch(
+    const std::vector<wl::Subscriber>& batch) {
+  const auto& live_leaves = tree_.live_leaf_brokers();
+  if (live_leaves.empty()) {
+    return Status::Infeasible("no live leaf broker");
+  }
+  if (config_.alpha < 1) {
+    return Status::Infeasible("filter complexity alpha must be >= 1");
+  }
+  const int l = static_cast<int>(live_leaves.size());
+
+  // Rung caps are constant for the whole batch: they depend only on the
+  // live-leaf count (no topology events inside a batch) and the expected
+  // population. Loads only grow within a batch, so once no leaf has
+  // headroom at a rung, every later scan of that rung is provably futile
+  // — track the headroom counts and skip those scans (counted).
+  const double caps[2] = {LoadCap(config_.beta), LoadCap(config_.beta_max)};
+  int headroom[2] = {0, 0};
+  for (int i = 0; i < l; ++i) {
+    const int load = loads_[leaf_index_[live_leaves[i]]];
+    for (int rung = 0; rung < 2; ++rung) {
+      headroom[rung] += (load + 1 <= caps[rung] + 1e-9) ? 1 : 0;
+    }
+  }
+
+  std::vector<int> handles;
+  handles.reserve(batch.size());
+  // Per-arrival caches, reused across rungs (and across the fallback):
+  // latencies are pure in the topology, and filters only change after the
+  // arrival commits, so every rung of one arrival sees the same values
+  // sequential Add recomputes.
+  std::vector<double> latency(l);
+  std::vector<double> cost(l);
+  std::vector<char> cost_ready(l);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const wl::Subscriber& s : batch) {
+    ++add_stats_.arrivals;
+    const double bound = LatencyBound(s);
+    for (int i = 0; i < l; ++i) latency[i] = LatencyAt(s, live_leaves[i]);
+    std::fill(cost_ready.begin(), cost_ready.end(), 0);
+    auto cost_at = [&](int i) {
+      if (cost_ready[i] == 0) {
+        ++add_stats_.cost_evals;
+        cost[i] = IncorporationCost(s, live_leaves[i]);
+        cost_ready[i] = 1;
+      }
+      return cost[i];
+    };
+
+    // The β → β_max → ∞ ladder, with PlaceOnline's exact decisions.
+    int leaf = -1;
+    for (int rung = 0; rung < 3 && leaf < 0; ++rung) {
+      if (rung < 2 && headroom[rung] == 0) {
+        ++add_stats_.escalation_skips;
+        continue;
+      }
+      ++add_stats_.escalation_scans;
+      int best = -1;
+      double best_cost = inf;
+      for (int i = 0; i < l; ++i) {
+        if (latency[i] > bound + 1e-12) continue;
+        if (rung < 2 &&
+            loads_[leaf_index_[live_leaves[i]]] + 1 > caps[rung] + 1e-9) {
+          continue;
+        }
+        const double c = cost_at(i);
+        if (c < best_cost) {
+          best_cost = c;
+          best = i;
+        }
+      }
+      if (best >= 0) leaf = live_leaves[best];
+    }
+    if (leaf < 0) {
+      // Degraded fallback: smallest latency excess, ties by cost.
+      ++add_stats_.escalation_scans;
+      int best = -1;
+      double best_excess = inf;
+      double best_cost = inf;
+      for (int i = 0; i < l; ++i) {
+        const double excess = latency[i] - bound;
+        const double c = cost_at(i);
+        if (excess < best_excess - 1e-12 ||
+            (excess < best_excess + 1e-12 && c < best_cost)) {
+          best_excess = excess;
+          best_cost = c;
+          best = i;
+        }
+      }
+      leaf = live_leaves[best];
+    }
+
+    SLP_RETURN_IF_ERROR(GrowPathFilters(leaf, s.subscription));
+    const int idx = leaf_index_[leaf];
+    for (int rung = 0; rung < 2; ++rung) {
+      // Headroom lost iff the leaf could take this arrival but not one more.
+      if (loads_[idx] + 1 <= caps[rung] + 1e-9 &&
+          loads_[idx] + 2 > caps[rung] + 1e-9) {
+        --headroom[rung];
+      }
+    }
+    ++loads_[idx];
+    ++population_;
+    handles.push_back(CommitSlot(s, leaf));
+  }
+  return handles;
+}
+
+int DynamicAssigner::CommitSlot(const wl::Subscriber& s, int leaf) {
   Slot slot;
-  slot.subscriber = subscriber;
+  slot.subscriber = s;
   slot.leaf = leaf;
   slot.occupied = true;
-  const double excess = LatencyAt(subscriber, leaf) - LatencyBound(subscriber);
+  const double excess = LatencyAt(s, leaf) - LatencyBound(s);
   if (excess > 1e-12) {
     slot.state = SubscriberState::kDegraded;
     slot.violation.latency = excess;
@@ -211,12 +327,12 @@ Result<int> DynamicAssigner::Add(const wl::Subscriber& subscriber) {
     slot.state = SubscriberState::kLive;
     ++live_count_;
   }
-  // Reuse a free slot if available.
-  for (size_t h = 0; h < slots_.size(); ++h) {
-    if (!slots_[h].occupied) {
-      slots_[h] = std::move(slot);
-      return static_cast<int>(h);
-    }
+  if (!free_slots_.empty()) {
+    const int h = free_slots_.top();
+    free_slots_.pop();
+    SLP_DCHECK(!slots_[h].occupied);
+    slots_[h] = std::move(slot);
+    return h;
   }
   slots_.push_back(std::move(slot));
   return static_cast<int>(slots_.size()) - 1;
@@ -245,6 +361,7 @@ void DynamicAssigner::Remove(int handle) {
   slot.occupied = false;
   slot.state = SubscriberState::kLive;
   slot.violation = {};
+  free_slots_.push(handle);
   // Filters intentionally stay: shrinking online could uncover remaining
   // subscribers. Staleness is reclaimed by Reoptimize().
 }

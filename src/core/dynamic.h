@@ -25,8 +25,10 @@
 #ifndef SLP_CORE_DYNAMIC_H_
 #define SLP_CORE_DYNAMIC_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,23 @@ struct ReoptimizeReport {
   std::string algorithm;
 };
 
+// Cumulative counters of the online-placement work done by Add/AddBatch.
+// The batch path amortizes: per-arrival latency/cost caches and batch-level
+// rung-saturation counters that skip provably futile β/β_max scans — the
+// same placement decisions as sequential Add, with measurably fewer
+// escalation-ladder solves (escalation_scans) and cost evaluations.
+struct AddStats {
+  int64_t arrivals = 0;
+  // Full per-leaf scans of one rung of the Gr escalation ladder
+  // (β, β_max, ∞, or the degraded fallback) — the ladder's "solves".
+  int64_t escalation_scans = 0;
+  // Rung scans AddBatch proved futile (no leaf has headroom at the rung's
+  // cap) and skipped without scanning.
+  int64_t escalation_skips = 0;
+  // IncorporationCost evaluations (one filter-path walk each).
+  int64_t cost_evals = 0;
+};
+
 class DynamicAssigner {
  public:
   // `expected_population` scales the per-broker load caps (β κ_i m); the
@@ -85,8 +104,25 @@ class DynamicAssigner {
   // latency excess quantified.
   Result<int> Add(const wl::Subscriber& subscriber);
 
+  // Adds a batch of subscribers, placed online in arrival order with
+  // exactly the semantics of calling Add once per element — bit-identical
+  // placements, filters, loads, states, and handles — while amortizing the
+  // per-arrival work: each arrival's per-leaf latencies and incorporation
+  // costs are computed once across all rungs (Add recomputes them per
+  // rung), and the batch tracks how many live leaves still have headroom
+  // at β and β_max (caps are constant within a batch and loads only grow,
+  // so a saturated rung stays saturated and its scans are skipped — see
+  // AddStats::escalation_skips). Returns one handle per subscriber.
+  // kInfeasible with the assigner unchanged when no live leaf broker
+  // exists or alpha < 1 (the same per-element outcome sequential Add would
+  // produce, which also leaves no state behind).
+  Result<std::vector<int>> AddBatch(const std::vector<wl::Subscriber>& batch);
+
+  // Work counters accumulated by Add and AddBatch since construction.
+  const AddStats& add_stats() const { return add_stats_; }
+
   // Removes a previously added subscriber (any state). Filters stay as
-  // they are (stale but safe).
+  // they are (stale but safe). The slot is recycled by a later Add.
   void Remove(int handle);
 
   // ---- Crash-stop failure events ----
@@ -216,6 +252,10 @@ class DynamicAssigner {
   // Gr-style online placement over live leaves. kInfeasible when no live
   // leaf exists (state unchanged).
   Result<int> PlaceOnline(const wl::Subscriber& s) const;
+  // Fills a slot (recycling the lowest free handle, as Add always has)
+  // with a subscriber placed at `leaf` and returns the handle. The caller
+  // has already grown filters and bumped the leaf load / population.
+  int CommitSlot(const wl::Subscriber& s, int leaf);
   // Grows filters_[node] to incorporate `r` (R-tree least-enlargement,
   // honoring α). kInfeasible only for a non-positive α.
   Status IncorporateRect(int node, const geo::Rectangle& r);
@@ -235,6 +275,14 @@ class DynamicAssigner {
   int expected_population_;
 
   std::vector<Slot> slots_;
+  // Free (unoccupied) slot handles, lowest first — replaces the linear
+  // free-slot scan Add used to do (O(population) per arrival). Remove
+  // pushes; CommitSlot pops. The heap always holds exactly the vacant
+  // handles, so popping the minimum reproduces the historical
+  // first-free-slot choice.
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_slots_;
+  // Mutable: PlaceOnline is logically const but meters its scan work.
+  mutable AddStats add_stats_;
   int live_count_ = 0;
   int population_ = 0;
   std::vector<int> orphans_;

@@ -37,7 +37,7 @@ std::vector<int> Violate(const SaProblem& problem, const Targets& targets,
   for (int r = 0; r < rows; ++r) {
     const auto& sub = problem.subscriber(targets.subscribers[r]).subscription;
     bool covered = false;
-    for (int t : targets.candidates[r]) {
+    for (int t : targets.candidates(r)) {
       if (filters[t].CoversRect(sub)) {
         covered = true;
         break;
@@ -55,8 +55,9 @@ void Complete(const SaProblem& problem, const Targets& targets,
               std::vector<geo::Filter>* filters) {
   std::vector<std::vector<geo::Rectangle>> extra(targets.count);
   for (int r : uncovered) {
-    SLP_DCHECK(!targets.candidates[r].empty());
-    const int t = targets.candidates[r][0];  // nearest feasible target
+    const CandidateRow cand = targets.candidates(r);
+    SLP_DCHECK(!cand.empty());
+    const int t = cand[0];  // nearest feasible target
     extra[t].push_back(problem.subscriber(targets.subscribers[r]).subscription);
   }
   for (int t = 0; t < targets.count; ++t) {
@@ -76,7 +77,7 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
   const int rows = static_cast<int>(targets.subscribers.size());
   SLP_DCHECK(rows > 0);
   for (int r = 0; r < rows; ++r) {
-    if (targets.candidates[r].empty()) {
+    if (targets.candidates(r).empty()) {
       return Status::Infeasible("subscriber with no latency-feasible target");
     }
   }

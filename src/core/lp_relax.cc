@@ -36,7 +36,7 @@ Result<LpRelaxModel> LpRelaxModel::Build(
     // Targets: nearest half by latency plus a random spread of the rest —
     // clustered subscribers would otherwise all point at the same few
     // brokers and make load balance impossible within the cap.
-    const auto& cand = targets.candidates[row];
+    const CandidateRow cand = targets.candidates(row);
     if (cand.empty()) {
       return Status::Infeasible("subscriber with no feasible target");
     }

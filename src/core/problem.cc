@@ -49,6 +49,13 @@ void SaProblem::Init() {
     leaf_index_[leaves[i]] = static_cast<int>(i);
   }
 
+  subtree_kappa_.assign(tree_.num_nodes(), 0.0);
+  for (int v = 0; v < tree_.num_nodes(); ++v) {
+    double k = 0.0;
+    for (int leaf : tree_.subtree_leaves(v)) k += kappa_[leaf_index_[leaf]];
+    subtree_kappa_[v] = k;
+  }
+
   const int m = num_subscribers();
   delta_path_.resize(m);
   latency_bound_.resize(m);

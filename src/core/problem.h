@@ -66,6 +66,12 @@ class SaProblem {
   int leaf_node(int i) const { return tree_.leaf_brokers()[i]; }
   // κ_i by leaf index.
   double capacity_fraction(int leaf_idx) const { return kappa_[leaf_idx]; }
+  // Σ κ over the leaves of the subtree rooted at `node` — precomputed once
+  // in Init() by summing in the tree's subtree-leaf enumeration order, so
+  // the value is bit-identical to the historical per-call accumulation.
+  double subtree_capacity_fraction(int node) const {
+    return subtree_kappa_[node];
+  }
 
   // Δ_j: the best possible publisher-to-subscriber latency through T
   // (always path-based; used by the reported delay metric).
@@ -100,6 +106,7 @@ class SaProblem {
   std::vector<wl::Subscriber> subscribers_;
   SaConfig config_;
   std::vector<double> kappa_;          // by leaf index
+  std::vector<double> subtree_kappa_;  // by node id; Σ κ over subtree leaves
   std::vector<int> leaf_index_;        // by node id
   std::vector<double> delta_path_;     // path-based Δ_j (metric baseline)
   std::vector<double> latency_bound_;  // δ_j (mode-dependent)

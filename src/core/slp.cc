@@ -60,14 +60,33 @@ class SlpRunner {
   }
 
  private:
-  // Runs fn(0..n-1); on the shared pool unless the caller pinned the run to
-  // one thread. Tasks must synchronize any shared writes themselves.
-  void RunIndexed(int n, const std::function<void(int)>& fn) {
-    if (options_.num_threads == 1) {
+  // How many contiguous shards an n-item parallel region is split into.
+  int ShardCount(int n) const {
+    if (n <= 1 || options_.num_threads == 1) return 1;
+    const int shards = options_.num_shards > 0
+                           ? options_.num_shards
+                           : ThreadPool::Global().num_workers() + 1;
+    return std::clamp(shards, 1, n);
+  }
+
+  // Runs fn(0..n-1), split into ShardCount(n) contiguous index shards
+  // dispatched on the shared pool (serially on the calling thread when the
+  // run is pinned to one thread). Tasks must synchronize any shared writes
+  // themselves; each index's work depends only on that index, so the shard
+  // partition affects scheduling granularity, never results.
+  void RunSharded(int n, const std::function<void(int)>& fn) {
+    const int shards = ShardCount(n);
+    if (shards == 1 && options_.num_threads == 1) {
       for (int i = 0; i < n; ++i) fn(i);
-    } else {
-      ThreadPool::Global().ParallelFor(n, fn);
+      return;
     }
+    ThreadPool::Global().ParallelFor(shards, [&](int s) {
+      const int begin =
+          static_cast<int>(static_cast<int64_t>(n) * s / shards);
+      const int end =
+          static_cast<int>(static_cast<int64_t>(n) * (s + 1) / shards);
+      for (int i = begin; i < end; ++i) fn(i);
+    });
   }
 
   // Leaf-level rebalance across the whole tree (see Run()). Leaf filters
@@ -76,7 +95,9 @@ class SlpRunner {
   // assignment is always one of the flow's options.
   Status GlobalRepair(SaSolution* solution) {
     const auto& tree = problem_.tree();
-    const Targets targets = BuildLeafTargets(problem_, AllSubscribers(problem_));
+    const Targets targets =
+        BuildLeafTargets(problem_, AllSubscribers(problem_),
+                         ShardCount(problem_.num_subscribers()));
 
     Result<std::vector<std::vector<geo::Rectangle>>> assigned =
         GroupSubscriptionsByLeaf(problem_, solution->assignment);
@@ -91,7 +112,7 @@ class SlpRunner {
       leaf_rngs.push_back(rng_.Fork(problem_.leaf_node(t)));
     }
     std::vector<geo::Filter> filters(targets.count);
-    RunIndexed(targets.count, [&](int t) {
+    RunSharded(targets.count, [&](int t) {
       const int leaf = problem_.leaf_node(t);
       filters[t] = preliminary_leaf_filters_[leaf];
       const geo::Filter current = CoverWithAlphaMebs(
@@ -131,7 +152,8 @@ class SlpRunner {
       return Recurse(children[0], std::move(subs), solution, is_root, rng);
     }
 
-    const Targets targets = BuildChildTargets(problem_, subs, node);
+    const Targets targets = BuildChildTargets(
+        problem_, subs, node, ShardCount(static_cast<int>(subs.size())));
     std::vector<int> target_of;
     // A spent deadline degrades every remaining recursion node to the
     // greedy partition (FilterAssign would only burn time completing
@@ -194,7 +216,7 @@ class SlpRunner {
     child_rngs.reserve(children.size());
     for (int child : children) child_rngs.push_back(rng.Fork(child));
     std::vector<Status> child_status(children.size());
-    RunIndexed(static_cast<int>(children.size()), [&](int c) {
+    RunSharded(static_cast<int>(children.size()), [&](int c) {
       child_status[c] = Recurse(children[c], std::move(share[c]), solution,
                                 false, child_rngs[c]);
     });
@@ -209,10 +231,11 @@ class SlpRunner {
     std::vector<double> load(targets.count, 0);
     std::vector<int> target_of(rows, -1);
     for (int r = 0; r < rows; ++r) {
-      SLP_DCHECK(!targets.candidates[r].empty());
+      const CandidateRow cand = targets.candidates(r);
+      SLP_DCHECK(!cand.empty());
       int pick = -1;
       for (double lbf : {problem_.config().beta, problem_.config().beta_max}) {
-        for (int t : targets.candidates[r]) {
+        for (int t : cand) {
           if (load[t] + 1 <= targets.AbsCap(t, lbf) + 1e-9) {
             pick = t;
             break;
@@ -220,7 +243,7 @@ class SlpRunner {
         }
         if (pick >= 0) break;
       }
-      if (pick < 0) pick = targets.candidates[r][0];
+      if (pick < 0) pick = cand[0];
       target_of[r] = pick;
       load[pick] += 1;
     }

@@ -117,7 +117,7 @@ std::vector<std::vector<CoverEdge>> ComputeCovers(
   std::vector<std::vector<CoverEdge>> covers(rows);
   for (int r = 0; r < rows; ++r) {
     const auto& sub = problem.subscriber(targets.subscribers[r]).subscription;
-    for (int t : targets.candidates[r]) {
+    for (int t : targets.candidates(r)) {
       double best = std::numeric_limits<double>::infinity();
       for (const auto& rect : filters[t].rects()) {
         if (rect.Contains(sub)) best = std::min(best, rect.Volume());
@@ -164,7 +164,7 @@ Result<SubscriptionAssignResult> AssignByMaxFlow(
       if (attempt.target_of[r] >= 0) continue;
       // Nearest latency-feasible target with spare β_max capacity that does
       // not already cover this row.
-      for (int t : targets.candidates[r]) {
+      for (int t : targets.candidates(r)) {
         const double cap = targets.AbsCap(t, problem.config().beta_max);
         if (load[t] + pending_count[t] + 1 > cap + 1e-9) continue;
         const bool already_covering =

@@ -42,6 +42,46 @@ void BrokerTree::Finalize() {
   for (int v = 1; v < num_nodes(); ++v) {
     if (children_[v].empty()) leaves_.push_back(v);
   }
+  // Flat subtree-leaf table. One global DFS in the order the historical
+  // per-node walk used (explicit stack, children pushed in order and
+  // popped last-first) makes every subtree's leaves a contiguous slice of
+  // subtree_leaves_ with the same within-subtree order the old per-call
+  // enumeration produced — the order downstream FP capacity sums depend
+  // on. Spans are then closed bottom-up (children have larger ids than
+  // their parent, so a reverse id pass visits children first).
+  subtree_leaves_.clear();
+  subtree_leaves_.reserve(leaves_.size());
+  subtree_leaf_begin_.assign(num_nodes(), 0);
+  subtree_leaf_end_.assign(num_nodes(), 0);
+  {
+    std::vector<int> stack = {kPublisher};
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (is_leaf(v)) {
+        subtree_leaf_begin_[v] = static_cast<int>(subtree_leaves_.size());
+        subtree_leaves_.push_back(v);
+        subtree_leaf_end_[v] = static_cast<int>(subtree_leaves_.size());
+      } else {
+        for (int c : children_[v]) stack.push_back(c);
+      }
+    }
+    SLP_DCHECK(subtree_leaves_.size() == leaves_.size());
+    for (int v = num_nodes() - 1; v >= 0; --v) {
+      if (is_leaf(v)) continue;
+      int begin = static_cast<int>(subtree_leaves_.size());
+      int end = 0;
+      int total = 0;
+      for (int c : children_[v]) {
+        begin = std::min(begin, subtree_leaf_begin_[c]);
+        end = std::max(end, subtree_leaf_end_[c]);
+        total += subtree_leaf_end_[c] - subtree_leaf_begin_[c];
+      }
+      subtree_leaf_begin_[v] = begin;
+      subtree_leaf_end_[v] = end;
+      SLP_DCHECK(end - begin == total);  // subtree slices are contiguous
+    }
+  }
   failed_.assign(num_nodes(), false);
   RebuildLiveOverlay();
 }

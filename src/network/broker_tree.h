@@ -9,6 +9,7 @@
 #ifndef SLP_NETWORK_BROKER_TREE_H_
 #define SLP_NETWORK_BROKER_TREE_H_
 
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
@@ -55,6 +56,20 @@ class BrokerTree {
 
   // Leaf brokers in increasing node-id order (computed by Finalize()).
   const std::vector<int>& leaf_brokers() const { return leaves_; }
+
+  // Leaves of the subtree rooted at `node` (the node itself if it is a
+  // leaf), as a view into a flat table built once by Finalize() — no tree
+  // walk per call. The order is the historical per-node stack-DFS
+  // enumeration (children visited last-first); downstream capacity sums
+  // add leaf fractions in this order, so it is part of the determinism
+  // contract and must not change.
+  std::span<const int> subtree_leaves(int node) const {
+    return {subtree_leaves_.data() + subtree_leaf_begin_[node],
+            subtree_leaves_.data() + subtree_leaf_end_[node]};
+  }
+  int num_subtree_leaves(int node) const {
+    return subtree_leaf_end_[node] - subtree_leaf_begin_[node];
+  }
 
   // Broker nodes (everything except the publisher), in id order.
   std::vector<int> broker_nodes() const;
@@ -129,6 +144,12 @@ class BrokerTree {
   std::vector<geo::Point> location_;
   std::vector<double> root_latency_;
   std::vector<int> leaves_;
+  // Flat subtree-leaf table (CSR-style): every node's subtree leaves are
+  // the contiguous slice [subtree_leaf_begin_[v], subtree_leaf_end_[v]) of
+  // subtree_leaves_. Built once in Finalize().
+  std::vector<int> subtree_leaves_;
+  std::vector<int> subtree_leaf_begin_;
+  std::vector<int> subtree_leaf_end_;
   bool finalized_ = false;
 
   // Failure overlay; rebuilt in O(n) on each fail/recover event.

@@ -75,6 +75,15 @@ Workload GenerateGoogleGroups(const GoogleGroupsParams& params) {
   for (auto& rt : region_topics) {
     if (rt.empty()) rt.push_back(0);
   }
+  // One sampler per region, built once. Constructing a ZipfSampler is
+  // O(pool size) and consumes no randomness, so hoisting it out of the
+  // per-subscriber loop (m=1M would otherwise pay O(m · topics)) leaves
+  // the output stream byte-identical.
+  std::vector<ZipfSampler> region_samplers;
+  region_samplers.reserve(num_regions);
+  for (const auto& rt : region_topics) {
+    region_samplers.emplace_back(static_cast<int>(rt.size()), skew);
+  }
 
   const double broad_prob = params.broad_interests == Level::kHigh
                                 ? params.broad_prob_high
@@ -98,9 +107,7 @@ Workload GenerateGoogleGroups(const GoogleGroupsParams& params) {
     // (rank order preserved, so popular topics stay popular regionally).
     int topic;
     if (rng.Bernoulli(params.locality)) {
-      const auto& pool = region_topics[region];
-      ZipfSampler local(static_cast<int>(pool.size()), skew);
-      topic = pool[local.Sample(rng)];
+      topic = region_topics[region][region_samplers[region].Sample(rng)];
     } else {
       topic = popularity.Sample(rng);
     }

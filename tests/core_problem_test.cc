@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "src/core/metrics.h"
 #include "src/core/problem.h"
 #include "src/network/tree_builder.h"
+#include "src/workload/rss.h"
 #include "tests/test_util.h"
 
 namespace slp::core {
@@ -127,12 +130,13 @@ TEST(CandidatesTest, LeafTargetsSortedAndFeasible) {
   double kappa_sum = 0;
   for (double k : t.kappa) kappa_sum += k;
   EXPECT_NEAR(kappa_sum, 1.0, 1e-9);
-  for (size_t r = 0; r < t.subscribers.size(); ++r) {
-    ASSERT_FALSE(t.candidates[r].empty());
-    for (size_t c = 0; c < t.candidates[r].size(); ++c) {
-      EXPECT_TRUE(p.LatencyOk(t.subscribers[r], p.leaf_node(t.candidates[r][c])));
+  for (int r = 0; r < t.num_rows(); ++r) {
+    const CandidateRow cand = t.candidates(r);
+    ASSERT_FALSE(cand.empty());
+    for (int c = 0; c < cand.size(); ++c) {
+      EXPECT_TRUE(p.LatencyOk(t.subscribers[r], p.leaf_node(cand[c])));
       if (c > 0) {
-        EXPECT_GE(t.candidate_latency[r][c], t.candidate_latency[r][c - 1]);
+        EXPECT_GE(cand.latency(c), cand.latency(c - 1));
       }
     }
   }
@@ -143,7 +147,8 @@ TEST(CandidatesTest, LeafTargetsRespectSubsetSelection) {
   std::vector<int> subset = {3, 10, 42};
   Targets t = BuildLeafTargets(p, subset);
   EXPECT_EQ(t.subscribers, subset);
-  EXPECT_EQ(t.candidates.size(), 3u);
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.cand_offsets.size(), 4u);
 }
 
 TEST(CandidatesTest, ChildTargetsAggregateKappaAndOptimism) {
@@ -159,13 +164,14 @@ TEST(CandidatesTest, ChildTargetsAggregateKappaAndOptimism) {
   // Optimistic latency of a child equals min over its subtree leaves.
   for (size_t r = 0; r < t.subscribers.size(); r += 37) {
     const int j = t.subscribers[r];
-    for (size_t c = 0; c < t.candidates[r].size(); ++c) {
-      const int child = tree.children(root)[t.candidates[r][c]];
+    const CandidateRow cand = t.candidates(static_cast<int>(r));
+    for (int c = 0; c < cand.size(); ++c) {
+      const int child = tree.children(root)[cand[c]];
       double want = 1e300;
       for (int leaf : SubtreeLeaves(tree, child)) {
         want = std::min(want, tree.LatencyVia(leaf, p.subscriber(j).location));
       }
-      EXPECT_NEAR(t.candidate_latency[r][c], want, 1e-9);
+      EXPECT_NEAR(cand.latency(c), want, 1e-9);
       EXPECT_LE(want, p.latency_bound(j) + 1e-9);
     }
   }
@@ -383,7 +389,7 @@ TEST(FilterAdjustTest, AdjustLeafFiltersProducesValidTightSolution) {
   s.assignment.resize(p.num_subscribers());
   Targets t = BuildLeafTargets(p, AllSubscribers(p));
   for (size_t r = 0; r < t.subscribers.size(); ++r) {
-    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates[r][0]);
+    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates(static_cast<int>(r))[0]);
   }
   s.filters.assign(p.tree().num_nodes(), Filter());
   Rng rng(9);
@@ -402,7 +408,7 @@ TEST(FilterAdjustTest, TighteningPreliminaryNeverWorsensCoverage) {
   s.assignment.resize(p.num_subscribers());
   Targets t = BuildLeafTargets(p, AllSubscribers(p));
   for (size_t r = 0; r < t.subscribers.size(); ++r) {
-    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates[r][0]);
+    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates(static_cast<int>(r))[0]);
   }
   // Loose preliminary filters: the global event box everywhere.
   s.filters.assign(p.tree().num_nodes(), Filter());
@@ -429,7 +435,7 @@ TEST(FilterAdjustTest, InternalFiltersNestChildren) {
   s.assignment.resize(p.num_subscribers());
   Targets t = BuildLeafTargets(p, AllSubscribers(p));
   for (size_t r = 0; r < t.subscribers.size(); ++r) {
-    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates[r][0]);
+    s.assignment[t.subscribers[r]] = p.leaf_node(t.candidates(static_cast<int>(r))[0]);
   }
   s.filters.assign(p.tree().num_nodes(), Filter());
   Rng rng(11);
@@ -438,6 +444,155 @@ TEST(FilterAdjustTest, InternalFiltersNestChildren) {
   ValidationOptions opts;
   opts.check_load = false;
   EXPECT_TRUE(ValidateSolution(p, s, opts).ok());
+}
+
+// ---- CSR vs. legacy nested-vector differential ----
+//
+// Reference reimplementation of the candidate build as it existed before
+// the CSR refactor: one vector<int> + vector<double> per row, a per-call
+// subtree-leaf tree walk, and per-call kappa accumulation. The CSR build
+// must reproduce it exactly (same targets, bit-identical latencies) on
+// every workload family.
+
+struct LegacyRow {
+  std::vector<int> targets;
+  std::vector<double> latency;
+};
+
+// The historical stack-DFS (push children in order, pop from the back) the
+// memoized BrokerTree table replaced; order matters because kappa sums and
+// optimistic-latency mins folded in this order.
+std::vector<int> LegacySubtreeLeaves(const net::BrokerTree& tree, int node) {
+  std::vector<int> leaves;
+  std::vector<int> stack = {node};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (v != net::BrokerTree::kPublisher && tree.is_leaf(v)) {
+      leaves.push_back(v);
+      continue;
+    }
+    for (int c : tree.children(v)) stack.push_back(c);
+  }
+  return leaves;
+}
+
+LegacyRow LegacyLeafRow(const SaProblem& p, int j) {
+  std::vector<std::pair<double, int>> cand;
+  for (int i = 0; i < p.num_leaves(); ++i) {
+    const double lat = p.AssignmentLatency(j, p.leaf_node(i));
+    if (lat <= p.latency_bound(j) + 1e-12) cand.emplace_back(lat, i);
+  }
+  std::sort(cand.begin(), cand.end());
+  LegacyRow row;
+  for (const auto& [lat, i] : cand) {
+    row.targets.push_back(i);
+    row.latency.push_back(lat);
+  }
+  return row;
+}
+
+LegacyRow LegacyChildRow(const SaProblem& p, int j, int node) {
+  const auto& children = p.tree().children(node);
+  std::vector<std::pair<double, int>> cand;
+  for (size_t c = 0; c < children.size(); ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int leaf : LegacySubtreeLeaves(p.tree(), children[c])) {
+      best = std::min(best, p.AssignmentLatency(j, leaf));
+    }
+    if (best <= p.latency_bound(j) + 1e-12) {
+      cand.emplace_back(best, static_cast<int>(c));
+    }
+  }
+  std::sort(cand.begin(), cand.end());
+  LegacyRow row;
+  for (const auto& [lat, c] : cand) {
+    row.targets.push_back(c);
+    row.latency.push_back(lat);
+  }
+  return row;
+}
+
+void ExpectRowsEqual(const Targets& t, int r, const LegacyRow& legacy) {
+  const CandidateRow cand = t.candidates(r);
+  ASSERT_EQ(cand.size(), static_cast<int>(legacy.targets.size()))
+      << "row " << r;
+  for (int k = 0; k < cand.size(); ++k) {
+    EXPECT_EQ(cand[k], legacy.targets[k]) << "row " << r << " slot " << k;
+    // Bit-identical, not approximately equal: the CSR build performs the
+    // same arithmetic in the same order.
+    EXPECT_EQ(cand.latency(k), legacy.latency[k])
+        << "row " << r << " slot " << k;
+  }
+}
+
+core::SaProblem SmallRssProblem(int subs, int brokers, uint64_t seed) {
+  wl::RssParams params;
+  params.num_subscribers = subs;
+  params.num_brokers = brokers;
+  params.seed = seed;
+  wl::Workload w = wl::GenerateRss(params);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  return SaProblem(std::move(tree), std::move(w.subscribers), SaConfig{});
+}
+
+TEST(CsrDifferentialTest, LeafTargetsMatchLegacyNestedBuild) {
+  const SaProblem problems[] = {test::SmallGridProblem(500, 9),
+                                test::SmallGgProblem(500, 11),
+                                SmallRssProblem(500, 10, 13)};
+  for (const SaProblem& p : problems) {
+    const Targets t = BuildLeafTargets(p, AllSubscribers(p));
+    ASSERT_EQ(t.num_rows(), p.num_subscribers());
+    ASSERT_EQ(t.cand_offsets.size(), static_cast<size_t>(t.num_rows()) + 1);
+    for (int r = 0; r < t.num_rows(); ++r) {
+      ExpectRowsEqual(t, r, LegacyLeafRow(p, t.subscribers[r]));
+    }
+  }
+}
+
+TEST(CsrDifferentialTest, ChildTargetsMatchLegacyNestedBuild) {
+  const SaProblem p = test::SmallMultiLevelProblem(600, 28, 4);
+  const auto& tree = p.tree();
+  const std::vector<int> subs = AllSubscribers(p);
+  for (int node = 0; node < tree.num_nodes(); ++node) {
+    if (node != net::BrokerTree::kPublisher && tree.is_leaf(node)) continue;
+    if (tree.children(node).empty()) continue;
+    const Targets t = BuildChildTargets(p, subs, node);
+    // kappa must match the legacy per-call leaf-walk accumulation.
+    const auto& children = tree.children(node);
+    for (size_t c = 0; c < children.size(); ++c) {
+      double k = 0.0;
+      for (int leaf : LegacySubtreeLeaves(tree, children[c])) {
+        k += p.capacity_fraction(p.leaf_index(leaf));
+      }
+      EXPECT_EQ(t.kappa[c], k) << "node " << node << " child " << c;
+    }
+    for (int r = 0; r < t.num_rows(); ++r) {
+      ExpectRowsEqual(t, r, LegacyChildRow(p, t.subscribers[r], node));
+    }
+  }
+}
+
+TEST(CsrDifferentialTest, ShardedBuildBitIdenticalToSerial) {
+  const SaProblem p = test::SmallGgProblem(700, 12);
+  const std::vector<int> subs = AllSubscribers(p);
+  const Targets serial = BuildLeafTargets(p, subs, /*num_shards=*/1);
+  for (int shards : {2, 3, 7, 64}) {
+    const Targets sharded = BuildLeafTargets(p, subs, shards);
+    EXPECT_EQ(serial.cand_offsets, sharded.cand_offsets) << shards;
+    EXPECT_EQ(serial.cand_targets, sharded.cand_targets) << shards;
+    EXPECT_EQ(serial.cand_latency, sharded.cand_latency) << shards;
+  }
+}
+
+TEST(SubtreeLeavesTest, MemoizedTableMatchesLegacyWalkEverywhere) {
+  const SaProblem p = test::SmallMultiLevelProblem(100, 30, 3);
+  const auto& tree = p.tree();
+  for (int node = 0; node < tree.num_nodes(); ++node) {
+    EXPECT_EQ(SubtreeLeaves(tree, node), LegacySubtreeLeaves(tree, node))
+        << "node " << node;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/parallel.h"
 #include "src/core/filter_assign.h"
 #include "src/core/filter_gen.h"
 #include "src/core/greedy.h"
@@ -587,6 +588,42 @@ TEST(SlpTest, ParallelMatchesSerialBitIdentical) {
   }
   EXPECT_DOUBLE_EQ(a.value().fractional_lower_bound,
                    b.value().fractional_lower_bound);
+}
+
+// The sharding contract: any shard count — including one shard per pool
+// worker, the <= 0 default — produces a bit-identical solution, because
+// shard boundaries only change scheduling granularity, never the work or
+// the RNG streams (forked per index before dispatch).
+TEST(SlpTest, ShardCountsBitIdentical) {
+  SaProblem p = test::SmallMultiLevelProblem(700, 25, 5);
+  SlpOptions serial;
+  serial.num_threads = 1;
+  Rng rng_serial(43);
+  auto base = RunSlp(p, serial, rng_serial);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  const int pool = ThreadPool::Global().num_workers() + 1;
+  for (int shards : {1, 2, 7, pool}) {
+    SlpOptions opts;
+    opts.num_threads = 0;  // shared pool
+    opts.num_shards = shards;
+    Rng rng(43);
+    auto got = RunSlp(p, opts, rng);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(base.value().assignment, got.value().assignment)
+        << "shards=" << shards;
+    EXPECT_EQ(base.value().load_feasible, got.value().load_feasible)
+        << "shards=" << shards;
+    ASSERT_EQ(base.value().filters.size(), got.value().filters.size());
+    for (size_t v = 0; v < base.value().filters.size(); ++v) {
+      EXPECT_TRUE(base.value().filters[v].rects() ==
+                  got.value().filters[v].rects())
+          << "shards=" << shards << " filter of node " << v << " differs";
+    }
+    EXPECT_DOUBLE_EQ(base.value().fractional_lower_bound,
+                     got.value().fractional_lower_bound)
+        << "shards=" << shards;
+  }
 }
 
 // Regression: an assignment still holding the -1 initialization sentinel

@@ -154,5 +154,82 @@ TEST(DynamicTest, OnlineQualityWithinReachOfOffline) {
   EXPECT_LT(online_bw, 3 * offline_bw);
 }
 
+TEST(DynamicTest, AddBatchEmptyAndInfeasibleLeaveStateUnchanged) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  auto empty = dyn.AddBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+
+  // Fail every leaf: AddBatch must refuse like Add does, with no state
+  // left behind.
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  ASSERT_TRUE(dyn.FailBroker(2).ok());
+  auto batch = dyn.AddBatch({MakeSub(0, 1, 0.1, 0.1)});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(dyn.population(), 0);
+  EXPECT_EQ(dyn.slot_count(), 0);
+}
+
+// The AddBatch equivalence contract fuzzed at scale: 1000 arrivals in
+// batches with removals in between (exercising slot recycling), against a
+// twin assigner fed the same stream through sequential Add. Final state —
+// handles, assignments, states, loads, every filter rectangle — must be
+// identical, while the batch path does measurably fewer escalation-rung
+// scans (the amortization being purchased).
+TEST(DynamicTest, AddBatchMatchesSequentialAddFuzz) {
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(
+      wl::Level::kHigh, wl::Level::kLow, 1000, 8, /*seed=*/9);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  config.max_delay = 3.0;
+  // Caps sized well below the arrival count so the β and β_max rungs
+  // saturate mid-run and the batch path gets skips to prove futility of.
+  DynamicAssigner seq(tree, config, 400);
+  DynamicAssigner bat(tree, config, 400);
+
+  Rng rng(77);
+  size_t next = 0;
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<wl::Subscriber> batch(
+        w.subscribers.begin() + next, w.subscribers.begin() + next + 250);
+    next += 250;
+    std::vector<int> seq_handles;
+    seq_handles.reserve(batch.size());
+    for (const auto& s : batch) seq_handles.push_back(seq.Add(s).value());
+    auto got = bat.AddBatch(batch);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), seq_handles) << "round " << round;
+    // Deterministic churn between batches: same removals on both twins.
+    for (int h : seq_handles) {
+      if (rng.Bernoulli(0.2)) {
+        seq.Remove(h);
+        bat.Remove(h);
+      }
+    }
+  }
+
+  EXPECT_EQ(seq.population(), bat.population());
+  EXPECT_EQ(seq.live_count(), bat.live_count());
+  EXPECT_EQ(seq.loads(), bat.loads());
+  ASSERT_EQ(seq.slot_count(), bat.slot_count());
+  for (int h = 0; h < seq.slot_count(); ++h) {
+    ASSERT_EQ(seq.is_occupied(h), bat.is_occupied(h)) << "handle " << h;
+    if (!seq.is_occupied(h)) continue;
+    EXPECT_EQ(seq.leaf_of(h), bat.leaf_of(h)) << "handle " << h;
+    EXPECT_EQ(seq.state(h), bat.state(h)) << "handle " << h;
+  }
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    EXPECT_TRUE(seq.filter(v) == bat.filter(v))
+        << "filter of node " << v << " differs";
+  }
+
+  // Same work admitted, less work done.
+  EXPECT_EQ(seq.add_stats().arrivals, bat.add_stats().arrivals);
+  EXPECT_GT(bat.add_stats().escalation_skips, 0);
+  EXPECT_LT(bat.add_stats().escalation_scans, seq.add_stats().escalation_scans);
+  EXPECT_LE(bat.add_stats().cost_evals, seq.add_stats().cost_evals);
+}
+
 }  // namespace
 }  // namespace slp::core

@@ -1,0 +1,84 @@
+// Million-subscriber scale tests (ctest label `scale`).
+//
+// These run only in the Release lane: the label is excluded from the
+// Debug/ASan/TSan ctest invocations (instrumented builds would turn the
+// 1M-row loops into hour-long runs without adding coverage — the same
+// logic is exercised at small sizes by the regular suites).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/candidates.h"
+#include "src/core/dynamic.h"
+#include "src/core/problem.h"
+#include "src/network/tree_builder.h"
+#include "src/workload/grid.h"
+
+namespace slp::core {
+namespace {
+
+constexpr int kMillion = 1'000'000;
+
+wl::Workload MillionGrid(int brokers) {
+  wl::GridParams params;
+  params.num_subscribers = kMillion;
+  params.num_brokers = brokers;
+  params.seed = 5;
+  return wl::GenerateGrid(params);
+}
+
+// The tentpole path at full width: generate 1M subscribers, build the CSR
+// candidate table serially and sharded, and require bit-identical arrays.
+// Also pins the CSR structural invariants at a size where a quadratic or
+// realloc-churn regression would time the test out rather than pass.
+TEST(ScaleTest, MillionSubscriberCsrBuildShardIdentity) {
+  wl::Workload w = MillionGrid(/*brokers=*/64);
+  ASSERT_EQ(w.subscribers.size(), static_cast<size_t>(kMillion));
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaProblem p(std::move(tree), std::move(w.subscribers), SaConfig{});
+
+  const std::vector<int> subs = AllSubscribers(p);
+  const Targets serial = BuildLeafTargets(p, subs, /*num_shards=*/1);
+  ASSERT_EQ(serial.num_rows(), kMillion);
+  ASSERT_EQ(serial.cand_offsets.size(), static_cast<size_t>(kMillion) + 1);
+  ASSERT_EQ(serial.cand_offsets.front(), 0);
+  for (int r = 0; r < serial.num_rows(); ++r) {
+    ASSERT_LT(serial.cand_offsets[r], serial.cand_offsets[r + 1])
+        << "empty candidate row " << r;
+  }
+  ASSERT_EQ(serial.cand_offsets.back(),
+            static_cast<int64_t>(serial.cand_targets.size()));
+
+  const Targets sharded = BuildLeafTargets(p, subs, /*num_shards=*/8);
+  EXPECT_EQ(serial.cand_offsets, sharded.cand_offsets);
+  EXPECT_EQ(serial.cand_targets, sharded.cand_targets);
+  EXPECT_EQ(serial.cand_latency, sharded.cand_latency);
+}
+
+// 1M dynamic arrivals through AddBatch: completes, admits everyone, and
+// the batch-level rung-saturation bookkeeping pays off (skips recorded
+// once the β/β_max rungs fill).
+TEST(ScaleTest, MillionArrivalsAddBatch) {
+  wl::Workload w = MillionGrid(/*brokers=*/32);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  config.max_delay = 3.0;
+  // Caps below the arrival count: the β and β_max rungs must saturate.
+  DynamicAssigner dyn(std::move(tree), config, kMillion / 2);
+  auto handles = dyn.AddBatch(w.subscribers);
+  ASSERT_TRUE(handles.ok()) << handles.status().ToString();
+  EXPECT_EQ(handles.value().size(), static_cast<size_t>(kMillion));
+  EXPECT_EQ(dyn.population(), kMillion);
+  int64_t total = 0;
+  for (int l : dyn.loads()) total += l;
+  EXPECT_EQ(total, kMillion);
+  EXPECT_EQ(dyn.add_stats().arrivals, kMillion);
+  EXPECT_GT(dyn.add_stats().escalation_skips, 0);
+}
+
+}  // namespace
+}  // namespace slp::core

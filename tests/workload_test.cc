@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <set>
 #include <vector>
@@ -14,6 +15,41 @@
 
 namespace slp::wl {
 namespace {
+
+// FNV-1a over every double bit-pattern a generator emits (publisher, broker
+// locations, subscriber locations + subscription bounds). Pins the exact
+// output stream of each generator at a fixed seed, so layout/perf work in
+// the generators (reserve audits, sampler hoisting) is provably
+// byte-identical, not just statistically similar.
+uint64_t HashDouble(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashPoint(uint64_t h, const geo::Point& p) {
+  for (size_t d = 0; d < p.size(); ++d) h = HashDouble(h, p[d]);
+  return h;
+}
+
+uint64_t Fingerprint(const Workload& w) {
+  uint64_t h = 14695981039346656037ull;
+  h = HashPoint(h, w.publisher);
+  for (const geo::Point& b : w.broker_locations) h = HashPoint(h, b);
+  for (const Subscriber& s : w.subscribers) {
+    h = HashPoint(h, s.location);
+    for (int d = 0; d < s.subscription.dim(); ++d) {
+      h = HashDouble(h, s.subscription.lo(d));
+      h = HashDouble(h, s.subscription.hi(d));
+    }
+  }
+  return h;
+}
 
 TEST(BrokerPlacementTest, LikeSubscribersTracksDistribution) {
   Rng rng(1);
@@ -274,6 +310,33 @@ TEST(GridTest, LocationsIndependentOfInterest) {
     locs.insert(s.location[0] * 13 + s.location[1]);
   }
   EXPECT_LE(locs.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints: byte-identical generator output at fixed seeds.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenSeedTest, GoogleGroupsFingerprint) {
+  EXPECT_EQ(Fingerprint(GenerateGoogleGroups(SmallGg(Level::kHigh, Level::kLow))),
+            0xe9f4477ca9759c0dull);
+  EXPECT_EQ(Fingerprint(GenerateGoogleGroups(SmallGg(Level::kLow, Level::kHigh))),
+            0x0dd0ced52705b4a7ull);
+}
+
+TEST(GoldenSeedTest, RssFingerprint) {
+  RssParams p;
+  p.num_subscribers = 5000;
+  p.num_brokers = 20;
+  p.seed = 11;
+  EXPECT_EQ(Fingerprint(GenerateRss(p)), 0x3b4366bad61dd9acull);
+}
+
+TEST(GoldenSeedTest, GridFingerprint) {
+  GridParams p;
+  p.num_subscribers = 3000;
+  p.num_brokers = 10;
+  p.seed = 21;
+  EXPECT_EQ(Fingerprint(GenerateGrid(p)), 0xece594e7aed3d919ull);
 }
 
 }  // namespace
