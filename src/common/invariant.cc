@@ -31,6 +31,7 @@ const char* ToString(Category category) {
     case Category::kLiveOverlay: return "LIVE_OVERLAY";
     case Category::kMatchIndex: return "MATCH_INDEX";
     case Category::kDissemination: return "DISSEMINATION";
+    case Category::kLiveness: return "LIVENESS";
     case Category::kCount: break;
   }
   return "UNKNOWN";

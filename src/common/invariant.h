@@ -43,6 +43,7 @@ enum class Category : int {
   kLiveOverlay,    // parent/child symmetry, spliced reachability
   kMatchIndex,     // grid-index probe answers ≡ linear rectangle scan
   kDissemination,  // dissemination counter identities (cross-counter sums)
+  kLiveness,       // lease-tracker state vs overlay state coherence
   kCount,
 };
 

@@ -120,6 +120,17 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
     return Status::Infeasible("no live leaf broker");
   }
   ++add_stats_.arrivals;
+  // Honor the suspicion veto only while a non-vetoed live leaf exists:
+  // the veto is advisory and must never make an arrival bounce.
+  bool use_veto = false;
+  if (placement_veto_) {
+    for (int leaf : live_leaves) {
+      if (!placement_veto_(leaf)) {
+        use_veto = true;
+        break;
+      }
+    }
+  }
   const double bound = LatencyBound(s);
   for (double lbf : {config_.beta, config_.beta_max,
                      std::numeric_limits<double>::infinity()}) {
@@ -127,6 +138,7 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
     int best = -1;
     double best_cost = std::numeric_limits<double>::infinity();
     for (int leaf : live_leaves) {
+      if (use_veto && placement_veto_(leaf)) continue;
       if (LatencyAt(s, leaf) > bound + 1e-12) continue;
       const int idx = leaf_index_[leaf];
       if (std::isfinite(lbf) && loads_[idx] + 1 > LoadCap(lbf) + 1e-9) {
@@ -149,6 +161,7 @@ Result<int> DynamicAssigner::PlaceOnline(const wl::Subscriber& s) const {
   double best_excess = std::numeric_limits<double>::infinity();
   double best_cost = std::numeric_limits<double>::infinity();
   for (int leaf : live_leaves) {
+    if (use_veto && placement_veto_(leaf)) continue;
     const double excess = LatencyAt(s, leaf) - bound;
     ++add_stats_.cost_evals;
     const double cost = IncorporationCost(s, leaf);
@@ -217,6 +230,18 @@ Result<std::vector<int>> DynamicAssigner::AddBatch(
   }
   const int l = static_cast<int>(live_leaves.size());
 
+  // Veto flags are constant within a batch (the tracker only mutates
+  // between ticks, never mid-batch), so evaluate the predicate once per
+  // leaf. `use_veto` follows PlaceOnline's advisory rule.
+  std::vector<char> vetoed(l, 0);
+  bool use_veto = false;
+  if (placement_veto_) {
+    for (int i = 0; i < l; ++i) {
+      vetoed[i] = placement_veto_(live_leaves[i]) ? 1 : 0;
+      if (vetoed[i] == 0) use_veto = true;
+    }
+  }
+
   // Rung caps are constant for the whole batch: they depend only on the
   // live-leaf count (no topology events inside a batch) and the expected
   // population. Loads only grow within a batch, so once no leaf has
@@ -266,6 +291,7 @@ Result<std::vector<int>> DynamicAssigner::AddBatch(
       int best = -1;
       double best_cost = inf;
       for (int i = 0; i < l; ++i) {
+        if (use_veto && vetoed[i] != 0) continue;
         if (latency[i] > bound + 1e-12) continue;
         if (rung < 2 &&
             loads_[leaf_index_[live_leaves[i]]] + 1 > caps[rung] + 1e-9) {
@@ -286,6 +312,7 @@ Result<std::vector<int>> DynamicAssigner::AddBatch(
       double best_excess = inf;
       double best_cost = inf;
       for (int i = 0; i < l; ++i) {
+        if (use_veto && vetoed[i] != 0) continue;
         const double excess = latency[i] - bound;
         const double c = cost_at(i);
         if (excess < best_excess - 1e-12 ||

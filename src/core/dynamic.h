@@ -193,6 +193,28 @@ class DynamicAssigner {
   // All tracked subscribers (live + orphaned + degraded).
   int population() const { return population_; }
 
+  // ---- Placement veto (soft-state suspicion policy, DESIGN.md §13) ----
+  //
+  // An installed veto marks live leaves that should not receive *new*
+  // placements (the liveness tracker vetoes suspect leaves: a broker that
+  // missed heartbeats keeps its current subscribers — evacuation waits for
+  // a death declaration — but stops accumulating new ones, bounding the
+  // churn a false suspicion can cause). The veto is advisory: whenever
+  // every live leaf is vetoed, placement proceeds as if no veto were
+  // installed, so an arrival never bounces on suspicion alone. A default-
+  // constructed (empty) function clears the veto; with no veto installed
+  // behavior is bit-identical to before the veto existed.
+  void set_placement_veto(std::function<bool(int leaf)> veto) {
+    placement_veto_ = std::move(veto);
+  }
+  bool has_placement_veto() const {
+    return static_cast<bool>(placement_veto_);
+  }
+  // True iff a veto is installed and rejects `leaf`.
+  bool leaf_vetoed(int leaf) const {
+    return placement_veto_ && placement_veto_(leaf);
+  }
+
   // Leaf loads by (static) leaf index.
   const std::vector<int>& loads() const { return loads_; }
 
@@ -273,6 +295,7 @@ class DynamicAssigner {
   net::BrokerTree tree_;
   SaConfig config_;
   int expected_population_;
+  std::function<bool(int)> placement_veto_;  // empty = no veto
 
   std::vector<Slot> slots_;
   // Free (unoccupied) slot handles, lowest first — replaces the linear

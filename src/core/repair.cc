@@ -15,13 +15,22 @@ RepairEngine::RepairEngine(DynamicAssigner* assigner, RepairOptions options)
   SLP_DCHECK(dyn_ != nullptr);
 }
 
-int RepairEngine::BestConstrainedLeaf(const wl::Subscriber& s,
-                                      double lbf) const {
+bool RepairEngine::UseVeto() const {
+  if (!dyn_->has_placement_veto()) return false;
+  for (int leaf : dyn_->tree().live_leaf_brokers()) {
+    if (!dyn_->leaf_vetoed(leaf)) return true;
+  }
+  return false;
+}
+
+int RepairEngine::BestConstrainedLeaf(const wl::Subscriber& s, double lbf,
+                                      bool use_veto) const {
   const double bound = dyn_->LatencyBound(s);
   const double cap = dyn_->LoadCap(lbf);
   int best = -1;
   double best_cost = std::numeric_limits<double>::infinity();
   for (int leaf : dyn_->tree().live_leaf_brokers()) {
+    if (use_veto && dyn_->leaf_vetoed(leaf)) continue;
     if (dyn_->LatencyAt(s, leaf) > bound + 1e-12) continue;
     if (dyn_->load_of(leaf) + 1 > cap + 1e-9) continue;
     const double cost = dyn_->IncorporationCost(s, leaf);
@@ -37,10 +46,11 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
                                               RepairReport* report) {
   const wl::Subscriber& s = dyn_->subscriber(handle);
   const auto& live_leaves = dyn_->tree().live_leaf_brokers();
+  const bool use_veto = UseVeto();
 
   // Rungs 1–2: Gr within constraints, desired cap first.
   for (double lbf : {dyn_->config().beta, dyn_->config().beta_max}) {
-    const int leaf = BestConstrainedLeaf(s, lbf);
+    const int leaf = BestConstrainedLeaf(s, lbf, use_veto);
     if (leaf >= 0) {
       const Status placed =
           dyn_->PlaceAt(handle, leaf, SubscriberState::kLive);
@@ -66,6 +76,7 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
     double best_excess = std::numeric_limits<double>::infinity();
     double best_cost = std::numeric_limits<double>::infinity();
     for (int leaf : live_leaves) {
+      if (use_veto && dyn_->leaf_vetoed(leaf)) continue;
       if (dyn_->load_of(leaf) + 1 > cap_max + 1e-9) continue;
       const double excess = std::max(0.0, dyn_->LatencyAt(s, leaf) - bound);
       const double cost = dyn_->IncorporationCost(s, leaf);
@@ -93,6 +104,7 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
   int best = -1;
   double best_excess = std::numeric_limits<double>::infinity();
   for (int leaf : live_leaves) {
+    if (use_veto && dyn_->leaf_vetoed(leaf)) continue;
     const double excess = std::max(0.0, dyn_->LatencyAt(s, leaf) - bound);
     if (excess < best_excess) {
       best_excess = excess;
@@ -111,8 +123,23 @@ SubscriberState RepairEngine::PlaceWithLadder(int handle,
   return SubscriberState::kDegraded;
 }
 
+void RepairEngine::PruneStaleBackoff() {
+  for (auto it = backoff_.begin(); it != backoff_.end();) {
+    const int handle = it->first;
+    if (!dyn_->is_occupied(handle) ||
+        dyn_->state(handle) != SubscriberState::kDegraded) {
+      it = backoff_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 RepairReport RepairEngine::Repair(const Deadline& deadline, int64_t now) {
   RepairReport report;
+  // Entries for removed / externally un-degraded / re-orphaned handles are
+  // dead weight and — worse — a recycled handle would inherit their clock.
+  PruneStaleBackoff();
   // Snapshot the orphan list: placements mutate it.
   const std::vector<int> orphans = dyn_->orphans();
   report.orphans_seen = static_cast<int>(orphans.size());
@@ -143,9 +170,10 @@ RepairReport RepairEngine::Repair(const Deadline& deadline, int64_t now) {
     if (inserted || now < it->second.next) continue;
     ++report.retried;
     const wl::Subscriber& s = dyn_->subscriber(handle);
+    const bool use_veto = UseVeto();
     int leaf = -1;
     for (double lbf : {dyn_->config().beta, dyn_->config().beta_max}) {
-      leaf = BestConstrainedLeaf(s, lbf);
+      leaf = BestConstrainedLeaf(s, lbf, use_veto);
       if (leaf >= 0) break;
     }
     if (leaf >= 0) {

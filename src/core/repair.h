@@ -21,12 +21,29 @@
 // retry/backoff). Degraded subscribers are retried through rungs 1–2 under
 // per-subscriber exponential backoff, so a recovery or load drain
 // eventually un-degrades them without hammering the ladder every tick.
+//
+// Suspicion-aware mode (DESIGN.md §13): when the owning DynamicAssigner
+// carries a placement veto (the liveness tracker vetoes *suspect* leaves),
+// every rung skips vetoed leaves as long as a non-vetoed live leaf exists.
+// Suspect leaves thus stop receiving new placements, but their existing
+// subscribers are NOT evacuated until the tracker declares the leaf dead
+// (which fails it and orphans them) — the policy that bounds the churn a
+// false suspicion can cause.
+//
+// Backoff hygiene: backoff entries are erased when an orphan repairs to
+// kLive, when a degraded retry succeeds, and — because handles are
+// recycled — whenever the tracked handle is vacated or un-degraded through
+// any external path (Remove, Reoptimize, recovery): callers that remove
+// subscribers directly may call Forget(handle), and every Repair() pass
+// additionally prunes entries whose handle is no longer an occupied
+// kDegraded subscriber, so a recycled handle can never inherit a stale
+// backoff clock.
 
 #ifndef SLP_CORE_REPAIR_H_
 #define SLP_CORE_REPAIR_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "src/common/deadline.h"
 #include "src/common/status.h"
@@ -72,21 +89,40 @@ class RepairEngine {
   // Checks `deadline` between subscribers; never aborts.
   RepairReport Repair(const Deadline& deadline, int64_t now = 0);
 
+  // Drops the backoff entry of a handle the caller removed (or otherwise
+  // knows left the degraded pool). Safe on handles with no entry. Repair()
+  // also prunes stale entries, so calling this is an optimization plus a
+  // guard against a recycled handle briefly inheriting an old clock
+  // between the removal and the next pass.
+  void Forget(int handle) { backoff_.erase(handle); }
+
+  // Live backoff entries (test/inspection surface for the leak contract).
+  int backoff_entries() const { return static_cast<int>(backoff_.size()); }
+
  private:
   struct Backoff {
     int attempts = 0;
     int64_t next = 0;
   };
 
+  // True iff the assigner carries a placement veto and at least one live
+  // leaf is not vetoed — the advisory-veto rule shared with PlaceOnline.
+  bool UseVeto() const;
   // Ladder rungs 1–2: best live leaf within `lbf` cap and latency bound;
-  // -1 if none.
-  int BestConstrainedLeaf(const wl::Subscriber& s, double lbf) const;
+  // -1 if none. Skips vetoed leaves when `use_veto`.
+  int BestConstrainedLeaf(const wl::Subscriber& s, double lbf,
+                          bool use_veto) const;
   // Runs the full ladder for one subscriber. Returns the resulting state.
   SubscriberState PlaceWithLadder(int handle, RepairReport* report);
+  // Erases entries whose handle is no longer an occupied kDegraded
+  // subscriber (removed, reoptimized back to kLive, or orphaned again).
+  void PruneStaleBackoff();
 
   DynamicAssigner* dyn_;
   RepairOptions options_;
-  std::unordered_map<int, Backoff> backoff_;  // handle -> retry state
+  // handle -> retry state. Ordered map: Repair() iterates it to prune, and
+  // iteration order must be deterministic (DESIGN.md §10 lint contract).
+  std::map<int, Backoff> backoff_;
 };
 
 }  // namespace slp::core

@@ -1,0 +1,51 @@
+#include "src/liveness/audit.h"
+
+#include <string>
+
+#include "src/common/invariant.h"
+#include "src/liveness/liveness_tracker.h"
+
+namespace slp::liveness {
+
+namespace {
+constexpr auto kCat = audit::Category::kLiveness;
+}  // namespace
+
+void AuditLiveness(const LivenessTracker& tracker) {
+  const core::DynamicAssigner& dyn = tracker.assigner();
+  const net::BrokerTree& tree = dyn.tree();
+
+  // Believed-dead ⇔ failed in the overlay. The tracker is the sole driver
+  // of FailBroker/RecoverBroker, so any disagreement means a transition
+  // was applied on one side only.
+  for (int v = 1; v < tree.num_nodes(); ++v) {
+    const std::string node = "node " + std::to_string(v);
+    const bool believed_dead =
+        tracker.broker_state(v) == LivenessState::kDead;
+    SLP_AUDIT_CHECK(kCat, believed_dead == tree.is_failed(v),
+                    node + ": tracker says " +
+                        ToString(tracker.broker_state(v)) +
+                        " but overlay failed=" +
+                        (tree.is_failed(v) ? "true" : "false"));
+  }
+
+  // Every tracked client lease points at a live slot, and a placed
+  // subscription sits on a leaf the tracker does not believe dead.
+  for (const ExpiredLease& c : tracker.TrackedClients()) {
+    const std::string client = "client " + std::to_string(c.client);
+    const bool occupied = c.handle >= 0 && c.handle < dyn.slot_count() &&
+                          dyn.is_occupied(c.handle);
+    SLP_AUDIT_CHECK(kCat, occupied,
+                    client + ": lease points at vacant handle " +
+                        std::to_string(c.handle));
+    if (!occupied) continue;
+    const int leaf = dyn.leaf_of(c.handle);
+    if (leaf < 0) continue;  // orphaned/parked: nothing to check
+    SLP_AUDIT_CHECK(kCat,
+                    tracker.broker_state(leaf) != LivenessState::kDead,
+                    client + ": placed at leaf " + std::to_string(leaf) +
+                        " the tracker believes dead");
+  }
+}
+
+}  // namespace slp::liveness

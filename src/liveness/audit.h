@@ -1,0 +1,23 @@
+// Liveness coherence auditor (Category::kLiveness, DESIGN.md §10/§13).
+//
+// The tracker's believed state and the assigner's overlay state are two
+// views of one fact and must never disagree: a broker is believed dead by
+// the tracker iff it is failed in the BrokerTree, every tracked client
+// lease points at an occupied assigner slot, and a subscriber placed at a
+// leaf implies the tracker believes that leaf non-dead. The auditor is
+// wired at the end of every LivenessTracker::Tick under
+// SLP_AUDITS_ENABLED and is directly callable from tests (drive it against
+// a seeded corruption and assert exactly the kLiveness counter trips).
+
+#ifndef SLP_LIVENESS_AUDIT_H_
+#define SLP_LIVENESS_AUDIT_H_
+
+namespace slp::liveness {
+
+class LivenessTracker;
+
+void AuditLiveness(const LivenessTracker& tracker);
+
+}  // namespace slp::liveness
+
+#endif  // SLP_LIVENESS_AUDIT_H_

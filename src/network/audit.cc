@@ -91,6 +91,15 @@ void AuditLiveOverlay(const LiveOverlayView& view) {
 
 void AuditLiveOverlay(const BrokerTree& tree) {
   AuditLiveOverlay(MakeLiveOverlayView(tree));
+  // Splice coherence: the overlay's parent pointer for a live broker must
+  // be exactly the nearest live proper ancestor in the static topology —
+  // the walk the heartbeat layer re-derives independently.
+  for (int v = 1; v < tree.num_nodes(); ++v) {
+    if (tree.is_failed(v)) continue;
+    SLP_AUDIT_CHECK(kCat, tree.live_parent(v) == tree.NearestLiveAncestor(v),
+                    "node " + std::to_string(v) +
+                        ": live_parent disagrees with NearestLiveAncestor");
+  }
 }
 
 }  // namespace slp::net

@@ -135,6 +135,14 @@ void BrokerTree::RebuildLiveOverlay() {
   }
 }
 
+int BrokerTree::NearestLiveAncestor(int node) const {
+  SLP_DCHECK(finalized_);
+  SLP_DCHECK(node > kPublisher && node < num_nodes());
+  int p = parent_[node];
+  while (p != kPublisher && failed_[p]) p = parent_[p];
+  return p;
+}
+
 std::vector<int> BrokerTree::LivePathFromRoot(int node) const {
   SLP_DCHECK(finalized_);
   SLP_DCHECK(!failed_[node]);

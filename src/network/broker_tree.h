@@ -115,6 +115,13 @@ class BrokerTree {
   // Nearest live proper ancestor (the node's parent in the live overlay);
   // -1 for the publisher or a failed node.
   int live_parent(int node) const { return live_parent_[node]; }
+  // Nearest live proper ancestor of *any* non-publisher node, failed ones
+  // included (live_parent() answers -1 for those). For a live node this
+  // equals live_parent(); for a failed node it is the broker its neighbors
+  // spliced to — the first live hop a message leaving `node` upward would
+  // take, which is what the heartbeat layer (src/liveness) routes along.
+  // The publisher (always live) terminates every walk.
+  int NearestLiveAncestor(int node) const;
   const std::vector<int>& live_children(int node) const {
     return live_children_[node];
   }

@@ -1,0 +1,125 @@
+#include "src/sim/churn_scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/common/invariant.h"
+
+namespace slp::sim {
+
+namespace {
+
+int CeilFractionAtLeastOne(double fraction, int population) {
+  return std::min(
+      population,
+      std::max(1, static_cast<int>(std::ceil(fraction * population))));
+}
+
+}  // namespace
+
+FaultPlan FlakyClients(int num_clients, int num_events, double flaky_fraction,
+                       int offline_events, int bouts, Rng& rng) {
+  SLP_DCHECK(num_clients > 0 && num_events > 0);
+  SLP_DCHECK(offline_events > 0 && bouts > 0);
+  const int victims = CeilFractionAtLeastOne(flaky_fraction, num_clients);
+  const std::vector<int> picks =
+      UniformSampleWithoutReplacement(num_clients, victims, rng);
+  std::vector<ClientEvent> events;
+  for (int client : picks) {
+    for (int b = 0; b < bouts; ++b) {
+      const int start = static_cast<int>(rng.UniformInt(0, num_events - 1));
+      events.push_back(ClientEvent{start, client, /*offline=*/true});
+      const int end = start + offline_events;
+      if (end < num_events) {
+        events.push_back(ClientEvent{end, client, /*offline=*/false});
+      }
+    }
+  }
+  return FaultPlan::Scripted({}, std::move(events));
+}
+
+FaultPlan AsymmetricPartition(const net::BrokerTree& tree, int num_events,
+                              int at_event, int duration_events,
+                              double mute_fraction, Rng& rng) {
+  const int num_brokers = tree.num_nodes() - 1;
+  SLP_DCHECK(num_brokers > 0 && num_events > 0);
+  SLP_DCHECK(at_event >= 0 && duration_events > 0);
+  const int victims = CeilFractionAtLeastOne(mute_fraction, num_brokers);
+  const std::vector<int> picks =
+      UniformSampleWithoutReplacement(num_brokers, victims, rng);
+  std::vector<FaultEvent> events;
+  for (int pick : picks) {
+    const int node = pick + 1;  // skip the publisher
+    events.push_back(
+        FaultEvent{at_event, node, /*fail=*/true, /*heartbeat_only=*/true});
+    const int end = at_event + duration_events;
+    if (end < num_events) {
+      events.push_back(
+          FaultEvent{end, node, /*fail=*/false, /*heartbeat_only=*/true});
+    }
+  }
+  return FaultPlan::Scripted(std::move(events));
+}
+
+FaultPlan SlowBrokers(const net::BrokerTree& tree, int num_events,
+                      double slow_fraction, int period_events,
+                      int mute_events, Rng& rng) {
+  const int num_brokers = tree.num_nodes() - 1;
+  SLP_DCHECK(num_brokers > 0 && num_events > 0);
+  SLP_DCHECK(period_events > mute_events && mute_events > 0);
+  const int victims = CeilFractionAtLeastOne(slow_fraction, num_brokers);
+  const std::vector<int> picks =
+      UniformSampleWithoutReplacement(num_brokers, victims, rng);
+  std::vector<FaultEvent> events;
+  for (int pick : picks) {
+    const int node = pick + 1;
+    const int phase = static_cast<int>(rng.UniformInt(0, period_events - 1));
+    for (int start = phase; start < num_events; start += period_events) {
+      events.push_back(
+          FaultEvent{start, node, /*fail=*/true, /*heartbeat_only=*/true});
+      const int end = start + mute_events;
+      if (end < num_events) {
+        events.push_back(
+            FaultEvent{end, node, /*fail=*/false, /*heartbeat_only=*/true});
+      }
+    }
+  }
+  return FaultPlan::Scripted(std::move(events));
+}
+
+FaultPlan SustainedChurn(const net::BrokerTree& tree, int num_events,
+                         double churn_fraction, int outage_events,
+                         int cycles, Rng& rng) {
+  const int num_brokers = tree.num_nodes() - 1;
+  SLP_DCHECK(num_brokers > 0 && num_events > 0);
+  SLP_DCHECK(outage_events > 0 && cycles > 0);
+  const int victims = CeilFractionAtLeastOne(churn_fraction, num_brokers);
+  const std::vector<int> picks =
+      UniformSampleWithoutReplacement(num_brokers, victims, rng);
+  const int window = std::max(1, num_events / cycles);
+  std::vector<FaultEvent> events;
+  for (int pick : picks) {
+    const int node = pick + 1;
+    // next_free keeps the victim's own crash/recover pairs disjoint: a
+    // crash of an already-down broker is a plan error in both modes.
+    int next_free = 0;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      const int lo = cycle * window;
+      const int hi = std::max(lo, lo + window - outage_events - 1);
+      int start =
+          lo + static_cast<int>(rng.UniformInt(0, std::max(0, hi - lo)));
+      start = std::max(start, next_free);
+      if (start >= num_events) break;
+      events.push_back(FaultEvent{start, node, /*fail=*/true});
+      const int end = start + outage_events;
+      if (end >= num_events) break;  // stays down (SeededRandom contract)
+      events.push_back(FaultEvent{end, node, /*fail=*/false});
+      next_free = end + 1;
+    }
+  }
+  return FaultPlan::Scripted(std::move(events));
+}
+
+}  // namespace slp::sim

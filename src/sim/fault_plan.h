@@ -1,11 +1,15 @@
-// Broker-failure injection for the dissemination simulator (DESIGN.md §9).
+// Broker-failure injection for the dissemination simulator (DESIGN.md §9,
+// §13).
 //
-// A FaultPlan is a schedule of crash-stop fail/recover events interleaved
-// with the event stream: the fault at `at_event` is applied (and a repair
-// pass runs) before event number `at_event` is routed. ReplayWithFaults
-// drives a DynamicAssigner through the plan, routing every event over the
-// *live* overlay — failed brokers forward nothing and are asserted out of
-// the message counters — and accounts every missed delivery to its cause:
+// A FaultPlan is a schedule of fail/recover events interleaved with the
+// event stream: the fault at `at_event` is applied (and a repair pass
+// runs) before event number `at_event` is routed. ReplayWithFaults drives
+// a DynamicAssigner through the plan in one of two modes:
+//
+// Crash-stop mode (options.lease unset — the original semantics): faults
+// mutate the believed overlay directly (FailBroker/RecoverBroker), repair
+// runs after a scripted `detection_delay_events`, and every missed
+// delivery is attributed to its cause:
 //
 //  * missed_live      — a kLive subscriber missed a matching event. This is
 //                       a correctness bug (coverage/nesting broken): the
@@ -18,15 +22,42 @@
 //                       placement grows path filters even when latency or
 //                       load constraints are violated).
 //
-// Per-epoch recovery metrics (orphan backlog, repairs, Q(T) of the live
-// deployment) expose the recovery trajectory, and the final Q(T) is
-// compared against a fresh offline Gr* re-solve of the surviving topology
-// to quantify the inflation the online repairs accumulated.
+// Staleness mode (options.lease set — DESIGN.md §13): the plan mutates
+// only *ground truth* (a liveness::HeartbeatChannel): fail/recover events
+// crash and revive brokers for real, heartbeat_only events cut just the
+// heartbeat uplink (asymmetric partition / slow broker), and client
+// events take subscribers offline. The believed overlay — what routing
+// and repair actually use — is driven exclusively by a
+// liveness::LivenessTracker fed by simulated heartbeats routed over that
+// same believed overlay. Detection latency, false suspicions, premature
+// evacuations, lease expirations, and reconnect storms stop being
+// scripted inputs and become measured outputs. Two extra miss categories
+// appear:
+//
+//  * missed_undetected — the event died at an actually-down broker the
+//                        tracker had not yet declared dead (the detection
+//                        window's price; keeps missed_live == 0 honest);
+//  * missed_expired    — a matching event fired while an *online* client's
+//                        subscription was expunged by a premature lease
+//                        expiry, before its reconnect.
+//
+// With zero-latency heartbeats and hair-trigger thresholds
+// (heartbeat_interval = 1, miss_suspect = miss_dead = 1,
+// suspect_blocks_placement = false) staleness mode reproduces the
+// crash-stop counters bit-identically on any down/up-only plan — the
+// oracle-equivalence contract enforced by tests/liveness_test.cc.
+//
+// Per-epoch recovery metrics (orphan backlog, repairs, per-cause misses,
+// Q(T) of the live deployment) expose the recovery trajectory, and the
+// final Q(T) is compared against a fresh offline Gr* re-solve of the
+// surviving topology to quantify the inflation the online repairs
+// accumulated.
 
 #ifndef SLP_SIM_FAULT_PLAN_H_
 #define SLP_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/common/deadline.h"
@@ -34,6 +65,7 @@
 #include "src/common/status.h"
 #include "src/core/dynamic.h"
 #include "src/core/repair.h"
+#include "src/liveness/liveness_tracker.h"
 #include "src/sim/dissemination.h"
 
 namespace slp::sim {
@@ -45,28 +77,59 @@ struct FaultEvent {
   int at_event = 0;
   int node = 0;       // broker node id (never the publisher)
   bool fail = true;   // false = recover
+  // Staleness mode only: the fault cuts the broker's heartbeat *uplink*
+  // instead of crashing it — heartbeats crossing the hop are lost but the
+  // broker keeps forwarding events (asymmetric partition; a slow-but-alive
+  // broker is a train of short heartbeat_only outages). Every suspicion
+  // such a fault causes is by construction false. Crash-stop replays
+  // reject plans containing heartbeat_only events.
+  bool heartbeat_only = false;
+};
+
+// Staleness mode only: a subscriber stops (offline = true) or resumes
+// (offline = false) refreshing its lease and consuming deliveries.
+// Client ids index the assigner's initial population in handle order.
+struct ClientEvent {
+  int at_event = 0;
+  int client = 0;
+  bool offline = true;
 };
 
 class FaultPlan {
  public:
   FaultPlan() = default;
 
-  // A caller-specified schedule; events are stably sorted by at_event.
-  static FaultPlan Scripted(std::vector<FaultEvent> events);
+  // A caller-specified schedule; both lists are stably sorted by at_event.
+  static FaultPlan Scripted(std::vector<FaultEvent> events,
+                            std::vector<ClientEvent> client_events = {});
 
   // Fails a seeded-random subset of brokers (interior or leaf, never the
   // publisher): ceil(fail_fraction * num_brokers) distinct victims, each
-  // failing at a uniform event index and recovering `outage_events` later
-  // (faults whose recovery lands past the stream end stay down).
-  // Deterministic for a given Rng state.
+  // failing at a uniform event index and recovering `outage_events`
+  // later. Deterministic for a given Rng state.
+  //
+  // Contract: a victim whose recovery index (start + outage_events) lands
+  // at or past the stream end gets NO recover event — it stays down
+  // through the end of the replay and is counted in unrepaired_at_end /
+  // excluded from the fresh-baseline topology. Callers that need every
+  // outage to close must size outage_events against num_events
+  // themselves; ReplayWithFaults never applies events at >= num_events.
   static FaultPlan SeededRandom(const net::BrokerTree& tree, int num_events,
                                 double fail_fraction, int outage_events,
                                 Rng& rng);
 
   const std::vector<FaultEvent>& events() const { return events_; }
+  const std::vector<ClientEvent>& client_events() const {
+    return client_events_;
+  }
+
+  // True iff the plan only makes sense under staleness replay (contains
+  // heartbeat_only or client events).
+  bool RequiresStaleness() const;
 
  private:
-  std::vector<FaultEvent> events_;  // sorted by at_event (stable)
+  std::vector<FaultEvent> events_;        // sorted by at_event (stable)
+  std::vector<ClientEvent> client_events_;  // sorted by at_event (stable)
 };
 
 struct FaultReplayOptions {
@@ -82,12 +145,21 @@ struct FaultReplayOptions {
   // Orphans not reached before expiry stay orphaned into the next tick —
   // this is what makes time-to-repair exceed zero.
   double repair_budget_seconds = -1;
-  // Events between orphans appearing and the first repair pass (models
-  // failure-detection delay).
+  // Crash-stop mode: events between orphans appearing and the first
+  // repair pass (models failure-detection delay). The window is shared by
+  // the whole outage: it opens when the orphan backlog first becomes
+  // non-empty and does NOT restart when a later fault adds orphans while
+  // the backlog is still non-zero — back-to-back faults inside one
+  // detection window are repaired together when the first window elapses
+  // (asserted by tests/repair_test.cc). Ignored in staleness mode, where
+  // detection delay is endogenous (the tracker's miss thresholds).
   int detection_delay_events = 0;
   // Solve a fresh offline Gr* over the final live topology and report the
   // Q(T) inflation of the online-repaired deployment against it.
   bool compute_fresh_baseline = true;
+  // Staleness mode switch: when set, failure detection runs through a
+  // LivenessTracker with these lease parameters (see file comment).
+  std::optional<liveness::LeaseConfig> lease;
 };
 
 // One epoch of the recovery time series.
@@ -95,18 +167,24 @@ struct EpochRecoveryStats {
   int first_event = 0;
   int num_events = 0;
   int64_t deliveries = 0;
+  // Per-cause misses within the epoch (same attribution as the replay
+  // totals; missed_undetected is staleness-mode only).
   int64_t missed_outage = 0;
+  int64_t missed_live = 0;
+  int64_t missed_degraded = 0;
+  int64_t missed_undetected = 0;
   int repaired = 0;         // orphan -> kLive transitions this epoch
   int degraded_placed = 0;  // orphan -> kDegraded transitions this epoch
   int orphans_end = 0;      // backlog at epoch end
   int degraded_end = 0;
+  int suspects_end = 0;     // staleness mode: suspect brokers at epoch end
   double qt_end = 0;        // live-deployment Q(T) at epoch end
 };
 
 struct FaultReplayResult {
   // Routing counters over the live overlay. `stats.missed_deliveries`
-  // counts only missed_live (the correctness-critical misses); outage and
-  // degraded misses are broken out below.
+  // counts only missed_live (the correctness-critical misses); the other
+  // causes are broken out below.
   DisseminationStats stats;
   int64_t missed_live = 0;
   int64_t missed_outage = 0;
@@ -129,13 +207,43 @@ struct FaultReplayResult {
   double qt_inflation = 0;  // qt_final / qt_fresh (0 when no baseline ran)
 
   std::vector<EpochRecoveryStats> epochs;
+
+  // ---- Staleness-mode outputs (all zero in crash-stop replays) ----
+  int64_t missed_undetected = 0;
+  int64_t missed_expired = 0;
+  // Deliveries routed to a leaf for a client that was offline (traffic
+  // spent on a subscriber who was not listening; excluded from
+  // stats.deliveries).
+  int64_t stale_deliveries = 0;
+  int64_t heartbeats_sent = 0;
+  int64_t heartbeats_delivered = 0;
+  int64_t refreshes_sent = 0;
+  int64_t refreshes_delivered = 0;
+  // Suspicions of brokers that were actually up (mutes and path outages).
+  int false_suspicions = 0;
+  // Death declarations of brokers that were actually up — each one
+  // evacuates a healthy leaf.
+  int premature_evacuations = 0;
+  int lease_expirations = 0;
+  // Expirations of clients that were actually online.
+  int false_lease_expirations = 0;
+  // Expired-then-online clients that re-subscribed (the reconnect storm).
+  int reconnects = 0;
+  // Believed-dead brokers revived by a heartbeat (RecoverBroker calls).
+  int broker_recoveries = 0;
+  // Ticks from a real crash to its death declaration, one entry per
+  // detected crash (premature evacuations excluded).
+  std::vector<int> detection_latency;
+  // Death declarations deferred by the path-aware held rule.
+  int64_t deaths_deferred = 0;
 };
 
 // Replays `events` through `dyn` under `plan`. `rng` is consumed only by
 // the fresh-baseline Gr* solve (a plan with compute_fresh_baseline=false
 // consumes no randomness). Fault events referencing invalid brokers (the
-// publisher, out of range, failing an already-failed node) surface as the
-// underlying Status error.
+// publisher, out of range, failing an already-failed/already-down node)
+// surface as the underlying Status error; a plan requiring staleness
+// replayed without options.lease is kInvalidArgument.
 Result<FaultReplayResult> ReplayWithFaults(core::DynamicAssigner& dyn,
                                            const FaultPlan& plan,
                                            const std::vector<geo::Point>& events,

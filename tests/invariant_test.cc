@@ -23,6 +23,8 @@
 #include "src/geometry/rectangle.h"
 #include "src/lp/lp_problem.h"
 #include "src/lp/simplex.h"
+#include "src/liveness/audit.h"
+#include "src/liveness/liveness_tracker.h"
 #include "src/network/audit.h"
 #include "src/network/broker_tree.h"
 #include "tests/test_util.h"
@@ -399,6 +401,60 @@ TEST(LiveFilterAuditTest, DynamicDeploymentWithFailuresPasses) {
   core::AuditLiveFilters(dyn);
   net::AuditLiveOverlay(dyn.tree());
   EXPECT_EQ(guard.Total(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness auditor
+// ---------------------------------------------------------------------------
+
+liveness::LeaseConfig TestLease() {
+  liveness::LeaseConfig lease;
+  lease.heartbeat_interval = 1;
+  lease.miss_suspect = 2;
+  lease.miss_dead = 4;
+  return lease;
+}
+
+TEST(LivenessAuditTest, TrackerDrivenTransitionsPass) {
+  core::DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), 4);
+  const int h = dyn.Add(MakeSub(-1, 2, 0.1, 0.1)).value();
+  liveness::LivenessTracker tracker(&dyn, TestLease(), 0);
+  tracker.TrackSubscriber(0, h, 0);
+  RecordingHandler guard;
+  liveness::AuditLiveness(tracker);
+  EXPECT_EQ(guard.Total(), 0);
+  // Drive a death through the tracker itself: still coherent.
+  for (int64_t t = 1; t <= 4; ++t) {
+    for (int v : {2, 5, 6}) tracker.HeardBroker(v, t);
+    tracker.Tick(t);
+  }
+  ASSERT_GT(tracker.num_believed_dead(), 0);
+  liveness::AuditLiveness(tracker);
+  EXPECT_EQ(guard.Total(), 0);
+}
+
+TEST(LivenessAuditTest, OverlayMutationBehindTrackerTripsLivenessOnly) {
+  core::DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), 4);
+  liveness::LivenessTracker tracker(&dyn, TestLease(), 0);
+  // The tracker owns FailBroker; failing a broker behind its back forks
+  // the two views of liveness.
+  ASSERT_TRUE(dyn.FailBroker(3).ok());
+  RecordingHandler guard;
+  liveness::AuditLiveness(tracker);
+  guard.ExpectOnly(Category::kLiveness);
+}
+
+TEST(LivenessAuditTest, VacatedTrackedHandleTripsLivenessOnly) {
+  core::DynamicAssigner dyn(TwoLevelTree(), LooseConfig(), 4);
+  const int h = dyn.Add(MakeSub(-1, 2, 0.1, 0.1)).value();
+  liveness::LivenessTracker tracker(&dyn, TestLease(), 0);
+  tracker.TrackSubscriber(0, h, 0);
+  // Removing the subscription without ForgetSubscriber leaves the tracker
+  // holding a lease on a vacant slot.
+  dyn.Remove(h);
+  RecordingHandler guard;
+  liveness::AuditLiveness(tracker);
+  guard.ExpectOnly(Category::kLiveness);
 }
 
 TEST(CleanEndToEndTest, SlpPipelineTripsNothing) {

@@ -318,6 +318,65 @@ TEST(RepairEngineTest, ParksWhenNoLiveLeafThenUndegradesAfterRecovery) {
   EXPECT_EQ(dyn.leaf_of(h), 1);
 }
 
+// Regression: backoff entries used to outlive their subscriber. The map
+// must drain on Forget, on prune (removal without Forget), and on a
+// successful un-degrade — and a recycled handle must never inherit a
+// stale clock.
+TEST(RepairEngineTest, BackoffEntriesAreErasedWithTheirSubscribers) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
+  RepairOptions opts;
+  opts.backoff_base = 2;
+  RepairEngine engine(&dyn, opts);
+  const int h0 = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  const int h1 = dyn.Add(MakeSub(1, 0.1, 0.4, 0.1)).value();
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  ASSERT_TRUE(dyn.FailBroker(2).ok());
+
+  // No live leaf: both orphans park degraded and acquire backoff clocks.
+  engine.Repair(Deadline::Infinite(), /*now=*/0);
+  ASSERT_EQ(dyn.state(h0), SubscriberState::kDegraded);
+  ASSERT_EQ(dyn.state(h1), SubscriberState::kDegraded);
+  EXPECT_EQ(engine.backoff_entries(), 2);
+
+  // Voluntary departure with the caller-side hand-off: entry gone at once.
+  dyn.Remove(h0);
+  engine.Forget(h0);
+  EXPECT_EQ(engine.backoff_entries(), 1);
+
+  // Departure without Forget: the next pass prunes the stale entry.
+  dyn.Remove(h1);
+  engine.Repair(Deadline::Infinite(), /*now=*/1);
+  EXPECT_EQ(engine.backoff_entries(), 0);
+
+  // Recycled handles start fresh: a new arrival re-uses h0's slot, parks
+  // degraded, and must be retried on the first funded pass even though the
+  // old h0 entry would still have been backing off.
+  ASSERT_TRUE(dyn.RecoverBroker(1).ok());
+  const int h2 = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  EXPECT_EQ(h2, std::min(h0, h1));
+  EXPECT_EQ(dyn.state(h2), SubscriberState::kLive);
+  EXPECT_EQ(engine.backoff_entries(), 0);
+}
+
+TEST(RepairEngineTest, UndegradeErasesTheBackoffEntry) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
+  RepairOptions opts;
+  opts.backoff_base = 2;
+  RepairEngine engine(&dyn, opts);
+  const int h = dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
+  ASSERT_TRUE(dyn.FailBroker(1).ok());
+  ASSERT_TRUE(dyn.FailBroker(2).ok());
+  engine.Repair(Deadline::Infinite(), /*now=*/0);
+  ASSERT_EQ(dyn.state(h), SubscriberState::kDegraded);
+  ASSERT_EQ(engine.backoff_entries(), 1);
+
+  ASSERT_TRUE(dyn.RecoverBroker(2).ok());
+  const RepairReport report = engine.Repair(Deadline::Infinite(), /*now=*/10);
+  EXPECT_EQ(report.undegraded, 1);
+  EXPECT_EQ(dyn.state(h), SubscriberState::kLive);
+  EXPECT_EQ(engine.backoff_entries(), 0);
+}
+
 TEST(RepairEngineTest, ExpiredDeadlineLeavesOrphansForNextPass) {
   DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 4);
   dyn.Add(MakeSub(1, 0, 0.1, 0.1)).value();
@@ -525,6 +584,58 @@ TEST(FaultReplayTest, DetectionDelayCreatesMeasuredOutage) {
   // Misses during the undetected window are attributed to the outage, and
   // live subscribers still never miss.
   EXPECT_GT(r.missed_outage, 0);
+  EXPECT_EQ(r.missed_live, 0);
+  // The per-epoch miss breakdown tiles the totals exactly.
+  int64_t epoch_outage = 0, epoch_live = 0, epoch_degraded = 0;
+  int64_t epoch_deliveries = 0;
+  for (const sim::EpochRecoveryStats& e : r.epochs) {
+    epoch_outage += e.missed_outage;
+    epoch_live += e.missed_live;
+    epoch_degraded += e.missed_degraded;
+    epoch_deliveries += e.deliveries;
+  }
+  EXPECT_EQ(epoch_outage, r.missed_outage);
+  EXPECT_EQ(epoch_live, r.missed_live);
+  EXPECT_EQ(epoch_degraded, r.missed_degraded);
+  EXPECT_EQ(epoch_deliveries, r.stats.deliveries);
+}
+
+// Two leaf crashes inside one detection window share it: the window opens
+// at the first orphan and does NOT restart when the second fault adds
+// orphans, so both backlogs are repaired together when the first window
+// elapses (the shared-window contract in src/sim/fault_plan.h).
+TEST(FaultReplayTest, BackToBackFaultsShareTheDetectionWindow) {
+  SaConfig tight;  // default max_delay pins each subscriber to its broker
+  tight.alpha = 2;
+  DynamicAssigner dyn(TwoLevelTree(), tight, 8);
+  const int ha = dyn.Add(MakeSub(-1, 2, 0.1, 0.1)).value();
+  const int hb = dyn.Add(MakeSub(-1, -2, 0.6, 0.1)).value();
+  const int leaf_a = dyn.leaf_of(ha);
+  const int leaf_b = dyn.leaf_of(hb);
+  ASSERT_NE(leaf_a, leaf_b);
+
+  const sim::FaultPlan plan = sim::FaultPlan::Scripted(
+      {sim::FaultEvent{10, leaf_a, true}, sim::FaultEvent{20, leaf_b, true}});
+  Rng event_rng(8);
+  const std::vector<Point> events = UniformEvents(120, event_rng);
+  sim::FaultReplayOptions options;
+  options.epoch_length = 40;
+  options.detection_delay_events = 25;
+  Rng rng(2);
+  const Result<sim::FaultReplayResult> replay =
+      sim::ReplayWithFaults(dyn, plan, events, options, rng);
+  ASSERT_TRUE(replay.ok()) << replay.status().message();
+  const sim::FaultReplayResult& r = replay.value();
+
+  // One outage, one backlog-clearing instant. Had the second fault
+  // restarted the window, the backlog would have cleared at tick 45
+  // (entry 35); sharing clears everything at tick 35 (entry 25).
+  EXPECT_EQ(r.total_orphaned, 2);
+  ASSERT_EQ(r.time_to_repair.size(), 1u);
+  EXPECT_GE(r.time_to_repair[0], 25);
+  EXPECT_LT(r.time_to_repair[0], 35);
+  EXPECT_EQ(r.total_repaired + r.total_degraded_placed, 2);
+  EXPECT_EQ(r.unrepaired_at_end, 0);
   EXPECT_EQ(r.missed_live, 0);
 }
 
