@@ -1,0 +1,189 @@
+// Subscription aggregation by subsumption (DESIGN.md §14).
+//
+// Wide-area workloads are heavily redundant: many subscriptions are exact
+// duplicates or sub-rectangles of a few popular ones. This layer collapses
+// such subscriptions into *aggregates* — one representative subscription
+// standing for all members — solves the SA problem on the compressed
+// instance with multiplicity-weighted load caps, and expands the solution
+// back to the original subscribers.
+//
+// Covering rule. Subscriber i may represent subscriber j when
+//  (R) rectangle: σ_j ⊆ rect(aggregate of i), and
+//  (L) latency compatibility: every leaf the solver may pick for i is
+//      feasible for j (CompatRule below).
+// Under (R)+(L) the expansion is feasibility-preserving: j inherits i's
+// leaf, where coverage holds because σ_j ⊆ aggregate rect ⊆ a single
+// leaf-filter rectangle (the compressed subscription IS the aggregate
+// rect), and latency holds by (L). Broker filters transfer verbatim, so
+// Q(T) of the expanded solution equals Q(T) of the compressed one.
+//
+// Construction is single-level: aggregates are formed greedily in
+// descending seed-volume order and members attach directly to a
+// representative, never to another member — the covering forest has depth
+// one, so it is acyclic by construction and compatibility is always
+// checked member-vs-representative directly.
+
+#ifndef SLP_AGG_AGGREGATION_H_
+#define SLP_AGG_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/assignment.h"
+#include "src/core/problem.h"
+#include "src/core/slp.h"
+#include "src/geometry/rectangle.h"
+
+namespace slp::agg {
+
+// Latency-compatibility rules (condition (L) above), per member-vs-rep
+// pair.
+enum class CompatRule {
+  // Exhaustive per-leaf check: every leaf latency-feasible for the rep is
+  // latency-feasible for the member. The weakest sound condition — admits
+  // the most merges — at O(feasible leaves) per pair (the rep's feasible
+  // list is memoized). Default for tests and moderate sizes.
+  kExact,
+  // Triangle-inequality sufficient condition:
+  //   bound(member) >= bound(rep) + dist(loc(member), loc(rep)).
+  // O(1) per pair and valid in both latency modes (the member's latency at
+  // any leaf exceeds the rep's by at most their separation). Strictly
+  // stronger than needed, so it admits fewer merges; use at scale.
+  kTriangle,
+};
+
+// Knobs of the aggregation layer.
+struct AggregationOptions {
+  // Compression knob: 0 admits only exact covers (member rect ⊆ aggregate
+  // rect, never growing the rect). eps > 0 additionally merges a
+  // near-covered subscription when enclosing it keeps
+  //   Vol(grown aggregate rect) <= (1 + eps) · Vol(representative's own
+  //   subscription),
+  // which bounds the per-aggregate Q(T) inflation by the same factor.
+  // Near-cover candidates are found by stabbing the representatives' seed
+  // rectangles with the query's lo corner, so an eps-merge whose candidate
+  // seed misses that corner is not discovered — a deliberate heuristic:
+  // the knob trades completeness for index locality, and the guarantee is
+  // one-sided (never merge beyond the bound) either way.
+  double eps = 0;
+  CompatRule compat = CompatRule::kExact;
+  // Cap on members per aggregate. Bounds the blast radius of one
+  // aggregate splitting under churn, and keeps any single aggregate's
+  // indivisible multiplicity weight packable under the leaf load caps.
+  // BuildAggregation treats 0 as unbounded; AggregateSolve replaces 0 with
+  // a load-aware default — an eighth of the tightest leaf's β-budget,
+  // β · min_i κ_i · m / 8 — because a group heavier than one leaf's budget
+  // makes the compressed instance load-infeasible by construction, and
+  // chunky near-budget groups defeat the flow rounding's packing.
+  int max_members = 0;
+};
+
+// One aggregate: a representative subscriber and the members it stands
+// for (the representative is always a member of its own aggregate).
+struct Aggregate {
+  int rep = -1;         // problem subscriber index of the representative
+  geo::Rectangle rect;  // aggregate rect (== rep's subscription at eps = 0)
+  std::vector<int> members;  // ascending problem subscriber indices
+};
+
+// A partition of the problem's subscribers into aggregates.
+struct Aggregation {
+  std::vector<Aggregate> aggregates;  // ascending by rep
+  std::vector<int> agg_of;            // subscriber index -> aggregate index
+  int num_subscribers = 0;
+
+  // Original rows per compressed row (>= 1; 1 = no compression).
+  double CompressionRatio() const {
+    return aggregates.empty()
+               ? 1.0
+               : static_cast<double>(num_subscribers) /
+                     static_cast<double>(aggregates.size());
+  }
+};
+
+// The exact-cover covering relation: true iff subscriber `coverer` may
+// represent subscriber `covered` with no rect growth (σ_covered ⊆
+// σ_coverer and condition (L) under options.compat). Reflexive and
+// transitive — a (non-strict) preorder whose strict part is acyclic —
+// which the property tests verify on random pairs. eps plays no role
+// here: slack merging perturbs the aggregate rect, not the relation.
+bool Covers(const core::SaProblem& problem, int coverer, int covered,
+            const AggregationOptions& options);
+
+// The options AggregateSolve actually aggregates with: max_members == 0 is
+// replaced by the load-aware default (β · min_i κ_i · m / 8; see
+// AggregationOptions::max_members). Exposed so callers can reproduce the
+// exact aggregation of an AggregateSolve run.
+AggregationOptions EffectiveAggregationOptions(const core::SaProblem& problem,
+                                               AggregationOptions options);
+
+// Greedy single-level aggregation. Deterministic: identical
+// (subscription, location) duplicates are flattened first, then dedup
+// groups are absorbed in descending seed-volume order (ties by subscriber
+// id) into the eligible representative with the largest seed volume (ties
+// to the earliest-created aggregate). Runs of the same problem and
+// options always produce the identical Aggregation.
+Aggregation BuildAggregation(const core::SaProblem& problem,
+                             const AggregationOptions& options);
+
+// The compressed instance: same tree, config, and capacity fractions; one
+// subscriber per aggregate (representative's location, aggregate rect),
+// weighted by member count so the load caps budget member-subscribers.
+core::SaProblem BuildCompressedProblem(const core::SaProblem& problem,
+                                       const Aggregation& aggregation);
+
+// Expands a solution of the compressed instance back to the original
+// problem: every member inherits its aggregate's leaf and the broker
+// filters transfer verbatim. Feasibility flags are recomputed honestly
+// against the original problem (not inherited).
+core::SaSolution ExpandSolution(const core::SaProblem& problem,
+                                const Aggregation& aggregation,
+                                const core::SaSolution& compressed);
+
+// Load repair at member granularity. Aggregation concentrates a group's
+// weight onto the representative's latency-candidate leaves — a strict
+// subset of each member's own — so a compressed instance can be
+// load-infeasible while the original is not (clustered workloads such as
+// GG hit this). Expansion restores the lost granularity: this pass sheds
+// subscribers from overloaded leaves onto leaves that are latency-feasible
+// for them *individually* and whose existing filter already covers their
+// subscription, so filters (and hence Q(T)) are untouched and coverage is
+// preserved by construction. Deterministic; recomputes load_feasible
+// honestly. Returns the number of subscribers moved (0 when the input is
+// already load-feasible).
+int RepairExpandedLoad(const core::SaProblem& problem,
+                       core::SaSolution* solution);
+
+struct AggregateSolveOptions {
+  core::SlpOptions slp;
+  AggregationOptions agg;
+};
+
+struct AggregateSolveStats {
+  core::SlpStats slp;     // of the compressed run
+  int aggregates = 0;     // compressed problem size
+  double compression_ratio = 1.0;
+  // True when a pre-solve max-flow certificate proved the compressed
+  // instance load-infeasible even at β_max (over latency candidates alone,
+  // so it is infeasible under any filters). The solve then skips the LP's
+  // futile (C3) escalation ladder and leaves load to the flow + repair.
+  bool compressed_load_infeasible = false;
+  // Subscribers RepairExpandedLoad moved off overloaded leaves after
+  // expansion (0 whenever the expanded solution was already feasible, so
+  // exact member-inherits-rep's-leaf expansion is the common case).
+  int repair_moves = 0;
+};
+
+// The end-to-end driver: aggregate, solve the compressed instance with
+// SLP, expand. Audits (aggregation invariants, nesting of the expanded
+// solution) run at the phase boundaries in debug builds.
+Result<core::SaSolution> AggregateSolve(const core::SaProblem& problem,
+                                        const AggregateSolveOptions& options,
+                                        Rng& rng,
+                                        AggregateSolveStats* stats = nullptr);
+
+}  // namespace slp::agg
+
+#endif  // SLP_AGG_AGGREGATION_H_

@@ -1,0 +1,76 @@
+#include "src/agg/audit.h"
+
+#include <string>
+#include <vector>
+
+#include "src/agg/aggregation.h"
+#include "src/common/invariant.h"
+#include "src/core/problem.h"
+
+namespace slp::agg {
+
+namespace {
+constexpr auto kCat = audit::Category::kAggregation;
+}  // namespace
+
+void AuditAggregation(const core::SaProblem& problem,
+                      const Aggregation& aggregation) {
+  const int m = problem.num_subscribers();
+  SLP_AUDIT_CHECK(kCat, aggregation.num_subscribers == m,
+                  "aggregation built for " +
+                      std::to_string(aggregation.num_subscribers) +
+                      " subscribers, problem has " + std::to_string(m));
+  SLP_AUDIT_CHECK(kCat,
+                  static_cast<int>(aggregation.agg_of.size()) == m,
+                  "agg_of has " + std::to_string(aggregation.agg_of.size()) +
+                      " entries for " + std::to_string(m) + " subscribers");
+  const int na = static_cast<int>(aggregation.aggregates.size());
+
+  // Membership lists agree with agg_of and partition the subscribers.
+  long membership = 0;
+  int prev_rep = -1;
+  for (int a = 0; a < na; ++a) {
+    const Aggregate& agg = aggregation.aggregates[a];
+    const std::string who = "aggregate " + std::to_string(a);
+    SLP_AUDIT_CHECK(kCat, agg.rep >= 0 && agg.rep < m,
+                    who + ": representative " + std::to_string(agg.rep) +
+                        " out of range");
+    SLP_AUDIT_CHECK(kCat, agg.rep > prev_rep,
+                    who + ": representatives not ascending (" +
+                        std::to_string(agg.rep) + " after " +
+                        std::to_string(prev_rep) + ")");
+    prev_rep = agg.rep;
+    SLP_AUDIT_CHECK(kCat, !agg.members.empty(), who + ": no members");
+    membership += static_cast<long>(agg.members.size());
+    bool rep_is_member = false;
+    int prev = -1;
+    for (int j : agg.members) {
+      const std::string mwho = who + ", member " + std::to_string(j);
+      SLP_AUDIT_CHECK(kCat, j >= 0 && j < m, mwho + ": out of range");
+      if (j < 0 || j >= m) continue;
+      SLP_AUDIT_CHECK(kCat, j > prev,
+                      mwho + ": members not strictly ascending");
+      prev = j;
+      rep_is_member |= j == agg.rep;
+      SLP_AUDIT_CHECK(kCat, aggregation.agg_of[j] == a,
+                      mwho + ": agg_of says " +
+                          std::to_string(aggregation.agg_of[j]));
+      SLP_AUDIT_CHECK(
+          kCat, agg.rect.Contains(problem.subscriber(j).subscription),
+          mwho + ": subscription not inside the aggregate rect");
+    }
+    SLP_AUDIT_CHECK(kCat, rep_is_member,
+                    who + ": representative not among its members");
+  }
+  SLP_AUDIT_CHECK(kCat, membership == m,
+                  "membership lists cover " + std::to_string(membership) +
+                      " of " + std::to_string(m) + " subscribers");
+  for (int j = 0; j < m; ++j) {
+    SLP_AUDIT_CHECK(kCat,
+                    aggregation.agg_of[j] >= 0 && aggregation.agg_of[j] < na,
+                    "subscriber " + std::to_string(j) +
+                        ": not assigned to any aggregate");
+  }
+}
+
+}  // namespace slp::agg

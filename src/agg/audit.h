@@ -1,0 +1,33 @@
+// Deep auditor for aggregation invariants (Category::kAggregation).
+//
+// Verifies that an Aggregation is a well-formed partition of the
+// problem's subscribers and that every member is representable by its
+// aggregate:
+//  * agg_of covers every subscriber with a valid aggregate index, and
+//    membership lists agree with it exactly (Σ |members| == m);
+//  * every member's subscription rectangle ⊆ its aggregate's rect;
+//  * each representative is a member of its own aggregate;
+//  * member lists are sorted ascending with no duplicates, and
+//    aggregates are ordered by representative ascending (the determinism
+//    contract BuildCompressedProblem's row order relies on).
+//
+// Compiled in all build types; library call sites (AggregateSolve phase
+// boundaries) are gated on SLP_AUDITS_ENABLED.
+
+#ifndef SLP_AGG_AUDIT_H_
+#define SLP_AGG_AUDIT_H_
+
+namespace slp::core {
+class SaProblem;
+}  // namespace slp::core
+
+namespace slp::agg {
+
+struct Aggregation;
+
+void AuditAggregation(const core::SaProblem& problem,
+                      const Aggregation& aggregation);
+
+}  // namespace slp::agg
+
+#endif  // SLP_AGG_AUDIT_H_

@@ -97,6 +97,20 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
             result.lp_calls < options.max_lp_calls) &&
            !options.deadline.expired();
   };
+  // Budget-exhausted exit shared by every degraded path: the best
+  // (fewest-violations) filters seen so far, completed to full coverage.
+  auto best_effort = [&]() -> FilterAssignResult {
+    result.budget_exhausted = true;
+    if (best_filters.empty()) best_filters.assign(targets.count, geo::Filter());
+    const std::vector<int> uncovered = Violate(problem, targets, best_filters);
+    Complete(problem, targets, uncovered, rng, &best_filters);
+    result.filters = std::move(best_filters);
+    result.fractional_objective = best_fractional;
+#if SLP_AUDITS_ENABLED
+    AuditResultFilters(result);
+#endif
+    return result;
+  };
 
   for (int g = options.initial_g;; g = std::min(2 * g, rows + 1)) {
     if (g > rows + 0) {
@@ -105,7 +119,11 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
       g = rows;
     }
     result.final_g = g;
-    weights.assign(rows, 1.0);
+    // MWU coreset weights start at each row's multiplicity (all 1.0
+    // unweighted): an aggregate row standing for k members should be
+    // sampled into Q as often as k singleton rows would be.
+    weights.resize(rows);
+    for (int r = 0; r < rows; ++r) weights[r] = targets.row_weight(r);
     const int q = std::min(
         rows, static_cast<int>(std::ceil(10.0 * g * std::log(std::max(g, 2)))));
     const int stage_iters = std::max(
@@ -118,19 +136,7 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
       for (int validity = 0; validity < options.validity_retries; ++validity) {
         if (!budget_left()) {
           // Budget exhausted: return the best filters seen, completed.
-          result.budget_exhausted = true;
-          if (best_filters.empty()) {
-            best_filters.assign(targets.count, geo::Filter());
-          }
-          const std::vector<int> uncovered =
-              Violate(problem, targets, best_filters);
-          Complete(problem, targets, uncovered, rng, &best_filters);
-          result.filters = std::move(best_filters);
-          result.fractional_objective = best_fractional;
-#if SLP_AUDITS_ENABLED
-          AuditResultFilters(result);
-#endif
-          return result;
+          return best_effort();
         }
 
         // Q: weight-proportional coreset sample.
@@ -216,6 +222,15 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
           if (lp_stats.dual_fallback) ++result.dual_fallbacks;
           result.dual_pivots += lp_stats.dual_pivots;
           if (lp_result.ok()) break;
+          if (lp_result.status().code() == StatusCode::kResourceExhausted) {
+            // The engine's pivot cap died inside a single solve: the
+            // sampled LP at this scale is too degenerate to finish, and a
+            // fresh sample would stall the same way. Degrade exactly like
+            // an exhausted max_lp_calls budget instead of failing the
+            // whole pipeline — coverage comes from Complete(), load from
+            // the max-flow step, and budget_exhausted reports it.
+            return best_effort();
+          }
           if (lp_result.status().code() != StatusCode::kInfeasible) {
             return lp_result.status();
           }
@@ -268,16 +283,7 @@ Result<FilterAssignResult> FilterAssign(const SaProblem& problem,
 
   // All stages ran without full coverage (only possible with a tight LP
   // budget or pathological rounding): complete the best snapshot.
-  result.budget_exhausted = true;
-  if (best_filters.empty()) best_filters.assign(targets.count, geo::Filter());
-  const std::vector<int> uncovered = Violate(problem, targets, best_filters);
-  Complete(problem, targets, uncovered, rng, &best_filters);
-  result.filters = std::move(best_filters);
-  result.fractional_objective = best_fractional;
-#if SLP_AUDITS_ENABLED
-  AuditResultFilters(result);
-#endif
-  return result;
+  return best_effort();
 }
 
 }  // namespace slp::core

@@ -22,7 +22,11 @@ Result<LpRelaxModel> LpRelaxModel::Build(
   LpRelaxModel model;
   model.targets_ = &targets;
   model.rects_ = rects;
-  model.sb_size_ = static_cast<double>(sb_rows.size());
+  // Weighted |Sb|: Σ multiplicities of the sampled rows, so the (C3) cap
+  // β κ_t |Sb| stays the same fraction of the sampled load mass. Exactly
+  // (double)sb_rows.size() when unweighted.
+  model.sb_size_ = 0;
+  for (int r : sb_rows) model.sb_size_ += targets.row_weight(r);
   model.sa_size_ = static_cast<double>(sa_rows.size());
 
   std::vector<int> sb_sorted = sb_rows;
@@ -88,7 +92,10 @@ Result<LpRelaxModel> LpRelaxModel::Build(
     Group& g = groups[it->second];
     g.rows.push_back(row);
     if (std::binary_search(sb_sorted.begin(), sb_sorted.end(), row)) {
-      g.weight_sb += 1;
+      // Load weight of a sampled row is its multiplicity (1 unweighted):
+      // an aggregate representative stands for that many member
+      // subscribers in the (C3) cap.
+      g.weight_sb += targets.row_weight(row);
     }
   }
 

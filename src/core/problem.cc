@@ -73,6 +73,16 @@ void SaProblem::Init() {
   }
 }
 
+void SaProblem::SetWeights(std::vector<double> weights) {
+  SLP_DCHECK(weights.size() == subscribers_.size());
+  total_weight_ = 0;
+  for (double w : weights) {
+    SLP_DCHECK(w >= 1.0);
+    total_weight_ += w;
+  }
+  weights_ = std::move(weights);
+}
+
 double SaProblem::RelativeDelay(int j, int leaf_node) const {
   const double delta = tree_.LatencyVia(leaf_node, subscribers_[j].location);
   if (delta_path_[j] <= 0) return 0;

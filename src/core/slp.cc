@@ -233,10 +233,12 @@ class SlpRunner {
     for (int r = 0; r < rows; ++r) {
       const CandidateRow cand = targets.candidates(r);
       SLP_DCHECK(!cand.empty());
+      // Aggregate rows land whole (their member count); 1 when unweighted.
+      const double w = targets.row_weight(r);
       int pick = -1;
       for (double lbf : {problem_.config().beta, problem_.config().beta_max}) {
         for (int t : cand) {
-          if (load[t] + 1 <= targets.AbsCap(t, lbf) + 1e-9) {
+          if (load[t] + w <= targets.AbsCap(t, lbf) + 1e-9) {
             pick = t;
             break;
           }
@@ -245,7 +247,7 @@ class SlpRunner {
       }
       if (pick < 0) pick = cand[0];
       target_of[r] = pick;
-      load[pick] += 1;
+      load[pick] += w;
     }
     return target_of;
   }

@@ -97,6 +97,25 @@ void MatchIndex::AppendContaining(double x, double y,
   }
 }
 
+void MatchIndex::AppendContainingRect(const geo::Rectangle& q,
+                                      std::vector<int32_t>* out) const {
+  SLP_DCHECK(q.dim() == 2);
+  const double qlx = q.lo(0), qhx = q.hi(0), qly = q.lo(1), qhy = q.hi(1);
+  if (owner_.empty() || qlx < min_x_ || qhx > max_x_ || qly < min_y_ ||
+      qhy > max_y_) {
+    return;
+  }
+  int count = 0;
+  const int32_t* ids = CellBegin(CellX(qlx), CellY(qly), &count);
+  for (int i = 0; i < count; ++i) {
+    const int32_t k = ids[i];
+    if (lo_x_[k] <= qlx && qhx <= hi_x_[k] && lo_y_[k] <= qly &&
+        qhy <= hi_y_[k]) {
+      out->push_back(owner_[k]);
+    }
+  }
+}
+
 bool MatchIndex::AnyContains(double x, double y) const {
   if (owner_.empty() || x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) {
     return false;

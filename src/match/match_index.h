@@ -84,6 +84,14 @@ class MatchIndex {
   // without deduplication — exact for single-rectangle owners.
   void AppendContaining(double x, double y, std::vector<int32_t>* out) const;
 
+  // Owner-tagged containment probe: appends the owner of every rectangle
+  // that contains the whole query rectangle `q` (q ⊆ rect, closed on every
+  // edge), without deduplication. A rectangle containing q necessarily
+  // contains q's lo corner, so only that corner's grid cell is scanned —
+  // the candidate set the subsumption layer narrows by exact containment.
+  void AppendContainingRect(const geo::Rectangle& q,
+                            std::vector<int32_t>* out) const;
+
   // True iff some rectangle contains (x, y) — any-match short circuit.
   bool AnyContains(double x, double y) const;
 

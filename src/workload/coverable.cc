@@ -1,0 +1,66 @@
+#include "src/workload/coverable.h"
+
+#include <vector>
+
+#include "src/common/invariant.h"
+#include "src/geometry/rectangle.h"
+
+namespace slp::wl {
+
+void MakeCoverable(Workload* workload, const CoverableOptions& options,
+                   Rng& rng) {
+  SLP_DCHECK(workload != nullptr);
+  auto& subs = workload->subscribers;
+  const int m = static_cast<int>(subs.size());
+  if (m < 2) return;
+
+  // Select children first so parents are drawn from the final untouched
+  // set (a child of a child would not be coverable by an untouched
+  // subscriber). At least one parent always remains.
+  std::vector<char> is_child(m, 0);
+  std::vector<int> parents;
+  parents.reserve(m);
+  for (int j = 0; j < m; ++j) {
+    if (static_cast<int>(parents.size()) + (m - j) > 1 &&
+        rng.Bernoulli(options.fraction)) {
+      is_child[j] = 1;
+    } else {
+      parents.push_back(j);
+    }
+  }
+  if (parents.empty()) return;  // fraction ~1 with tiny m
+
+  for (int j = 0; j < m; ++j) {
+    if (is_child[j] == 0) continue;
+    const int p = parents[rng.UniformInt(
+        0, static_cast<int64_t>(parents.size()) - 1)];
+    const Subscriber& parent = subs[p];
+    Subscriber child;
+    child.location = parent.location;
+    if (options.location_jitter > 0) {
+      for (auto& c : child.location) {
+        c += rng.Uniform(-options.location_jitter, options.location_jitter);
+      }
+    }
+    if (rng.Bernoulli(options.dup_fraction)) {
+      child.subscription = parent.subscription;
+    } else {
+      // A contained sub-rectangle: shrink each side around a uniformly
+      // placed interior anchor. Degenerate parent sides stay degenerate
+      // (still contained).
+      const auto& r = parent.subscription;
+      std::vector<double> lo(r.dim()), hi(r.dim());
+      for (int d = 0; d < r.dim(); ++d) {
+        const double len = r.length(d);
+        const double keep = rng.Uniform(0.2, 0.9);
+        const double start = rng.Uniform(0.0, 1.0 - keep);
+        lo[d] = r.lo(d) + start * len;
+        hi[d] = lo[d] + keep * len;
+      }
+      child.subscription = geo::Rectangle(std::move(lo), std::move(hi));
+    }
+    subs[j] = std::move(child);
+  }
+}
+
+}  // namespace slp::wl

@@ -1,0 +1,40 @@
+// Coverability transform: rewrites a fraction of an existing workload's
+// subscribers so they are subsumable by untouched "parent" subscribers —
+// the workload shape the aggregation layer (src/agg, DESIGN.md §14)
+// compresses. Real content-based workloads are heavily redundant (many
+// subscriptions duplicate or narrow a few popular ones); the paper's
+// generators draw subscriptions independently, so this post-pass grafts
+// that redundancy onto any of them.
+
+#ifndef SLP_WORKLOAD_COVERABLE_H_
+#define SLP_WORKLOAD_COVERABLE_H_
+
+#include "src/common/random.h"
+#include "src/workload/workload.h"
+
+namespace slp::wl {
+
+struct CoverableOptions {
+  // Fraction of subscribers rewritten as children of untouched parents.
+  double fraction = 0.5;
+  // Among the rewritten, the share that become EXACT duplicates of their
+  // parent (same subscription); the rest become contained sub-rectangles.
+  double dup_fraction = 0.5;
+  // Children are placed AT the parent's location (the strongest
+  // coverability: identical latency bounds make every compatibility rule
+  // admit the merge). With jitter > 0 each child's location is instead
+  // offset by a uniform per-dimension perturbation of that magnitude,
+  // exercising the latency-compatibility rules.
+  double location_jitter = 0;
+};
+
+// Rewrites `workload` in place. A prefix-biased Bernoulli per subscriber
+// selects the children; each child picks a uniformly random parent among
+// the subscribers left untouched. Deterministic in (workload, options,
+// rng state). No-op when fewer than two subscribers exist.
+void MakeCoverable(Workload* workload, const CoverableOptions& options,
+                   Rng& rng);
+
+}  // namespace slp::wl
+
+#endif  // SLP_WORKLOAD_COVERABLE_H_

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/audit.h"
 #include "src/core/dynamic.h"
 #include "src/core/greedy.h"
 #include "src/core/metrics.h"
 #include "src/network/tree_builder.h"
+#include "src/workload/coverable.h"
 #include "src/workload/googlegroups.h"
 
 namespace slp::core {
@@ -229,6 +231,300 @@ TEST(DynamicTest, AddBatchMatchesSequentialAddFuzz) {
   EXPECT_GT(bat.add_stats().escalation_skips, 0);
   EXPECT_LT(bat.add_stats().escalation_scans, seq.add_stats().escalation_scans);
   EXPECT_LE(bat.add_stats().cost_evals, seq.add_stats().cost_evals);
+}
+
+// ---- Online subsumption fast path (DESIGN.md §14) ----
+
+TEST(DynamicAggTest, SubsumedAdmissionDoesNoEscalationWork) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  dyn.EnableAggregation();
+  const int parent = dyn.Add(MakeSub(0, 1, 0.1, 0.4)).value();
+  const AddStats before = dyn.add_stats();
+  ASSERT_GT(before.escalation_scans, 0);  // the normal path did work
+  // A covered arrival at the same location: admitted by index probe only.
+  const int child = dyn.Add(MakeSub(0, 1, 0.2, 0.1)).value();
+  const AddStats& after = dyn.add_stats();
+  EXPECT_EQ(after.subsumed_admissions, before.subsumed_admissions + 1);
+  EXPECT_EQ(after.arrivals, before.arrivals + 1);
+  // The fast path never scans an escalation rung or evaluates a cost —
+  // the counters prove FilterAssign-free, LP-free admission.
+  EXPECT_EQ(after.escalation_scans, before.escalation_scans);
+  EXPECT_EQ(after.cost_evals, before.cost_evals);
+  EXPECT_EQ(dyn.leaf_of(child), dyn.leaf_of(parent));
+  EXPECT_EQ(dyn.state(child), SubscriberState::kLive);
+  const int a = dyn.aggregate_of(parent);
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(dyn.aggregate_of(child), a);
+  EXPECT_EQ(dyn.aggregate_rep(a), parent);
+  EXPECT_EQ(static_cast<int>(dyn.aggregate_members(a).size()), 2);
+  AuditDynamicAggregation(dyn);
+  AuditLiveFilters(dyn);
+}
+
+TEST(DynamicAggTest, RemovingTheRepresentativeDissolvesTheAggregate) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  dyn.EnableAggregation();
+  const int parent = dyn.Add(MakeSub(0, 1, 0.1, 0.4)).value();
+  const int child = dyn.Add(MakeSub(0, 1, 0.2, 0.1)).value();
+  const int a = dyn.aggregate_of(parent);
+  ASSERT_EQ(dyn.aggregate_of(child), a);
+  dyn.Remove(parent);
+  // The member stays placed, but the covering unit is gone.
+  EXPECT_TRUE(dyn.is_occupied(child));
+  EXPECT_EQ(dyn.state(child), SubscriberState::kLive);
+  EXPECT_FALSE(dyn.aggregate_alive(a));
+  EXPECT_EQ(dyn.aggregate_of(child), -1);
+  EXPECT_TRUE(dyn.aggregate_members(a).empty());
+  AuditDynamicAggregation(dyn);
+  // An arrival covered by the DISSOLVED rep's rect is not subsumed by it:
+  // it goes through the normal path and seeds a fresh aggregate.
+  const int64_t subsumed = dyn.add_stats().subsumed_admissions;
+  const int fresh = dyn.Add(MakeSub(0, 1, 0.15, 0.2)).value();
+  EXPECT_EQ(dyn.add_stats().subsumed_admissions, subsumed);
+  EXPECT_GE(dyn.aggregate_of(fresh), 0);
+  EXPECT_NE(dyn.aggregate_of(fresh), a);
+  AuditDynamicAggregation(dyn);
+}
+
+// The PR 8 leak class, aggregation edition: a recycled handle must never
+// inherit the previous tenant's aggregate membership.
+TEST(DynamicAggTest, RecycledHandleGetsFreshMembership) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  dyn.EnableAggregation();
+  const int parent = dyn.Add(MakeSub(0, 1, 0.1, 0.4)).value();
+  const int child = dyn.Add(MakeSub(0, 1, 0.2, 0.1)).value();
+  const int a = dyn.aggregate_of(parent);
+  dyn.Remove(child);
+  EXPECT_EQ(dyn.aggregate_of(child), -1);
+  ASSERT_EQ(static_cast<int>(dyn.aggregate_members(a).size()), 1);
+  // Recycle the slot with an UNRELATED subscription: it must come back as
+  // the representative of its own fresh aggregate, not a member of a's.
+  const int reused = dyn.Add(MakeSub(0, -1, 0.7, 0.1)).value();
+  EXPECT_EQ(reused, child);  // slot actually recycled
+  const int b = dyn.aggregate_of(reused);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(dyn.aggregate_rep(b), reused);
+  AuditDynamicAggregation(dyn);
+}
+
+TEST(DynamicAggTest, LeafFailureDetachesAndRepairReRegisters) {
+  DynamicAssigner dyn(TwoBrokerTree(), LooseConfig(), 10);
+  dyn.EnableAggregation();
+  const int parent = dyn.Add(MakeSub(0, 1, 0.1, 0.4)).value();
+  const int child = dyn.Add(MakeSub(0, 1, 0.2, 0.1)).value();
+  const int home = dyn.leaf_of(parent);
+  ASSERT_EQ(dyn.leaf_of(child), home);
+  const int a = dyn.aggregate_of(parent);
+  ASSERT_TRUE(dyn.FailBroker(home).ok());
+  // Both orphaned, the aggregate dissolved with its representative.
+  EXPECT_EQ(dyn.state(parent), SubscriberState::kOrphaned);
+  EXPECT_EQ(dyn.state(child), SubscriberState::kOrphaned);
+  EXPECT_FALSE(dyn.aggregate_alive(a));
+  EXPECT_EQ(dyn.aggregate_of(parent), -1);
+  EXPECT_EQ(dyn.aggregate_of(child), -1);
+  AuditDynamicAggregation(dyn);
+  // Repair re-places the representative on the surviving leaf: it must
+  // re-register, and a covered arrival is again a fast-path admission
+  // landing at the NEW leaf.
+  const int other = home == 1 ? 2 : 1;
+  ASSERT_TRUE(dyn.PlaceAt(parent, other, SubscriberState::kLive).ok());
+  const int b = dyn.aggregate_of(parent);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(dyn.aggregate_rep(b), parent);
+  const int64_t subsumed = dyn.add_stats().subsumed_admissions;
+  const int late = dyn.Add(MakeSub(0, 1, 0.25, 0.05)).value();
+  EXPECT_EQ(dyn.add_stats().subsumed_admissions, subsumed + 1);
+  EXPECT_EQ(dyn.leaf_of(late), other);
+  EXPECT_EQ(dyn.aggregate_of(late), b);
+  AuditDynamicAggregation(dyn);
+  AuditLiveFilters(dyn);
+}
+
+TEST(DynamicAggTest, AddBatchBitIdenticalToSequentialWithAggregation) {
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(wl::Level::kHigh,
+                                                   wl::Level::kLow, 250, 6, 5);
+  wl::CoverableOptions cover;
+  cover.fraction = 0.6;
+  Rng cover_rng(17);
+  wl::MakeCoverable(&w, cover, cover_rng);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  config.max_delay = 3.0;
+  DynamicAssigner seq(tree, config, 250);
+  DynamicAssigner bat(tree, config, 250);
+  seq.EnableAggregation();
+  bat.EnableAggregation();
+  std::vector<int> seq_handles;
+  for (const auto& s : w.subscribers) {
+    seq_handles.push_back(seq.Add(s).value());
+  }
+  const std::vector<int> bat_handles = bat.AddBatch(w.subscribers).value();
+  ASSERT_EQ(seq_handles, bat_handles);
+  EXPECT_GT(seq.add_stats().subsumed_admissions, 0);
+  EXPECT_EQ(seq.add_stats().subsumed_admissions,
+            bat.add_stats().subsumed_admissions);
+  for (int h : seq_handles) {
+    EXPECT_EQ(seq.leaf_of(h), bat.leaf_of(h)) << "handle " << h;
+    EXPECT_EQ(seq.state(h), bat.state(h)) << "handle " << h;
+    EXPECT_EQ(seq.aggregate_of(h), bat.aggregate_of(h)) << "handle " << h;
+  }
+  EXPECT_EQ(seq.loads(), bat.loads());
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    EXPECT_TRUE(seq.filter(v) == bat.filter(v))
+        << "filter of node " << v << " differs";
+  }
+  AuditDynamicAggregation(seq);
+  AuditDynamicAggregation(bat);
+}
+
+// Seeded fuzz: the same interleaving of arrivals, departures, failures,
+// and recoveries driven against an aggregation-on and an aggregation-off
+// assigner. Placements may differ (the fast path admits at the
+// representative's leaf), but the tracked population, slot occupancy, and
+// the membership/filter invariants must hold throughout — and the fast
+// path must demonstrably save escalation work.
+TEST(DynamicAggTest, FuzzInterleavingAggOnVsOff) {
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(wl::Level::kHigh,
+                                                   wl::Level::kLow, 300, 6, 7);
+  wl::CoverableOptions cover;
+  cover.fraction = 0.7;
+  cover.dup_fraction = 0.5;
+  Rng cover_rng(23);
+  wl::MakeCoverable(&w, cover, cover_rng);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  const int num_brokers = tree.num_nodes() - 1;
+  SaConfig config;
+  config.max_delay = 3.0;
+  DynamicAssigner on(tree, config, 300);
+  DynamicAssigner off(tree, config, 300);
+  on.EnableAggregation();
+
+  Rng rng(99);
+  size_t next_sub = 0;
+  std::vector<int> failed;
+  auto next = [&]() -> const wl::Subscriber& {
+    return w.subscribers[next_sub++ % w.subscribers.size()];
+  };
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.Uniform(0, 1);
+    if (dice < 0.55) {
+      const wl::Subscriber& s = next();
+      const auto ha = on.Add(s);
+      const auto hb = off.Add(s);
+      ASSERT_EQ(ha.ok(), hb.ok());
+      if (ha.ok()) {
+        ASSERT_EQ(ha.value(), hb.value());  // same slot recycling
+      }
+    } else if (dice < 0.65 && on.slot_count() > 0) {
+      const wl::Subscriber& s = next();
+      const wl::Subscriber& s2 = next();
+      const auto ha = on.AddBatch({s, s2});
+      const auto hb = off.AddBatch({s, s2});
+      ASSERT_EQ(ha.ok(), hb.ok());
+      if (ha.ok()) {
+        ASSERT_EQ(ha.value(), hb.value());
+      }
+    } else if (dice < 0.85) {
+      // Remove a uniformly chosen occupied handle (same in both: slot
+      // occupancy is lockstep).
+      std::vector<int> occupied;
+      for (int h = 0; h < on.slot_count(); ++h) {
+        if (on.is_occupied(h)) occupied.push_back(h);
+      }
+      if (occupied.empty()) continue;
+      const int h = occupied[rng.UniformInt(
+          0, static_cast<int64_t>(occupied.size()) - 1)];
+      ASSERT_TRUE(off.is_occupied(h));
+      on.Remove(h);
+      off.Remove(h);
+    } else if (dice < 0.93 && static_cast<int>(failed.size()) + 1 <
+                                  num_brokers) {
+      const int node = 1 + static_cast<int>(rng.UniformInt(0, num_brokers - 1));
+      const auto sa = on.FailBroker(node);
+      const auto sb = off.FailBroker(node);
+      ASSERT_EQ(sa.ok(), sb.ok());
+      if (sa.ok()) failed.push_back(node);
+    } else if (!failed.empty()) {
+      const int pick = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(failed.size()) - 1));
+      const int node = failed[pick];
+      ASSERT_TRUE(on.RecoverBroker(node).ok());
+      ASSERT_TRUE(off.RecoverBroker(node).ok());
+      failed.erase(failed.begin() + pick);
+    }
+    if (step % 100 == 99) {
+      AuditDynamicAggregation(on);
+      AuditLiveFilters(on);
+      AuditLiveFilters(off);
+    }
+  }
+
+  // Lockstep bookkeeping: same tracked population and slot occupancy.
+  EXPECT_EQ(on.population(), off.population());
+  ASSERT_EQ(on.slot_count(), off.slot_count());
+  int on_placed = 0, off_placed = 0;
+  for (int h = 0; h < on.slot_count(); ++h) {
+    ASSERT_EQ(on.is_occupied(h), off.is_occupied(h)) << "handle " << h;
+    if (on.is_occupied(h) && on.leaf_of(h) >= 0) ++on_placed;
+    if (off.is_occupied(h) && off.leaf_of(h) >= 0) ++off_placed;
+  }
+  // Loads account exactly for the placed handles on each side.
+  int on_load = 0, off_load = 0;
+  for (int l : on.loads()) on_load += l;
+  for (int l : off.loads()) off_load += l;
+  EXPECT_EQ(on_load, on_placed);
+  EXPECT_EQ(off_load, off_placed);
+  // The fast path fired, and saved escalation work relative to off.
+  EXPECT_GT(on.add_stats().subsumed_admissions, 0);
+  EXPECT_EQ(off.add_stats().subsumed_admissions, 0);
+  EXPECT_LE(on.add_stats().escalation_scans, off.add_stats().escalation_scans);
+  AuditDynamicAggregation(on);
+  AuditLiveFilters(on);
+}
+
+TEST(DynamicAggTest, ReoptimizeReseedsAggregatesFromInstalledDeployment) {
+  wl::Workload w = wl::GenerateGoogleGroupsVariant(wl::Level::kHigh,
+                                                   wl::Level::kLow, 200, 6, 9);
+  wl::CoverableOptions cover;
+  cover.fraction = 0.6;
+  Rng cover_rng(31);
+  wl::MakeCoverable(&w, cover, cover_rng);
+  net::BrokerTree tree =
+      net::BuildOneLevelTree(w.publisher, w.broker_locations);
+  SaConfig config;
+  config.max_delay = 3.0;
+  DynamicAssigner dyn(std::move(tree), config, 200);
+  dyn.EnableAggregation();
+  for (const auto& s : w.subscribers) (void)dyn.Add(s);
+  Rng rng(4);
+  dyn.Reoptimize([](const SaProblem& p, Rng& r) { return RunGrStar(p, r); },
+                 rng);
+  // Reoptimization rebuilt membership from scratch over the installed
+  // placements; the invariants hold and the fast path still works.
+  AuditDynamicAggregation(dyn);
+  int alive = 0;
+  for (int a = 0; a < dyn.aggregate_count(); ++a) {
+    alive += dyn.aggregate_alive(a) ? 1 : 0;
+  }
+  EXPECT_GT(alive, 0);
+  const int64_t subsumed = dyn.add_stats().subsumed_admissions;
+  // Duplicate an installed live subscriber: must be a covered arrival.
+  int some_live = -1;
+  for (int h = 0; h < dyn.slot_count(); ++h) {
+    if (dyn.is_occupied(h) && dyn.state(h) == SubscriberState::kLive &&
+        dyn.aggregate_of(h) >= 0) {
+      some_live = h;
+      break;
+    }
+  }
+  ASSERT_GE(some_live, 0);
+  (void)dyn.Add(dyn.subscriber(some_live));
+  EXPECT_GT(dyn.add_stats().subsumed_admissions, subsumed);
+  AuditDynamicAggregation(dyn);
 }
 
 }  // namespace
