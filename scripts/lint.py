@@ -15,10 +15,20 @@ Checks library code under src/ for constructs the project bans:
     member feeds hash-order into whatever it computes, which breaks the
     repo's run-to-run determinism contract (see DESIGN.md §7). Ordered or
     indexed containers must be used wherever iteration order can reach
-    output, float accumulation, or tie-breaking.
+    output, float accumulation, or tie-breaking;
+  * raw synchronization primitives — std::mutex / std::shared_mutex /
+    lock_guard / unique_lock / condition_variable and friends bypass the
+    Clang thread-safety annotations (DESIGN.md §15); all locking must go
+    through the capability-annotated wrappers in src/common/sync.h, the
+    single allowlisted file.
 
 Exit status 0 when clean; 1 with a findings report otherwise.
 Usage: python3 scripts/lint.py [repo_root]
+       python3 scripts/lint.py --self-test
+
+--self-test runs every checker against embedded positive/negative
+fixtures (including the comment/string stripper) and exits nonzero on any
+divergence; the CI lint job runs it before linting the tree.
 """
 
 import pathlib
@@ -181,6 +191,27 @@ def check_unordered_iteration(path, code):
                    "hash-order-dependent")
 
 
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock|condition_variable|condition_variable_any)\b")
+
+# The annotated wrappers are the one place allowed to name the std
+# primitives they wrap.
+RAW_SYNC_ALLOWLIST = ("src/common/sync.h",)
+
+
+def check_raw_sync(path, code):
+    if path.as_posix().endswith(RAW_SYNC_ALLOWLIST):
+        return
+    for m in RAW_SYNC_RE.finditer(code):
+        report(path, line_of(code, m.start()), "no-raw-sync-primitive",
+               f"std::{m.group(1)} bypasses the thread-safety "
+               "annotations; use the capability-annotated wrappers in "
+               "src/common/sync.h (slp::Mutex/MutexLock/SharedMutex/"
+               "CondVar, DESIGN.md §15)")
+
+
 def check_nested_vectors(path, code):
     rel = path.as_posix()
     if not rel.startswith(NESTED_VECTOR_DIRS):
@@ -196,7 +227,110 @@ def check_nested_vectors(path, code):
             "(src/core/candidates.h)")
 
 
+ALL_CHECKS = (check_asserts, check_slp_check, check_randomness,
+              check_unordered_iteration, check_raw_sync, check_nested_vectors)
+
+
+# Each case: (name, pretend-path, snippet, expected finding rules,
+# expected warning rules). The snippets are run through the real stripper
+# and the real checkers, so the self-test breaks the moment a regex or an
+# allowlist drifts from what the fixtures pin.
+SELF_TEST_CASES = [
+    ("clean code", "src/core/ok.cc",
+     "int F(int x) { static_assert(sizeof(int) == 4); return x + 1; }",
+     set(), set()),
+    ("raw assert", "src/core/bad.cc",
+     "void F(int x) { assert(x > 0); }",
+     {"no-raw-assert"}, set()),
+    ("abort in library", "src/core/bad.cc",
+     "void F(bool ok) { SLP_CHECK(ok); }",
+     {"no-abort-in-library"}, set()),
+    ("SLP_CHECK allowed in status.h", "src/common/status.h",
+     "#define SLP_CHECK(expr) DoCheck(expr)",
+     set(), set()),
+    ("nondeterministic rng", "src/core/bad.cc",
+     "int F() { srand(7); std::random_device rd; return rand(); }",
+     {"no-unseeded-rng"}, set()),
+    ("raw engine outside random.*", "src/core/bad.cc",
+     "std::mt19937 engine;",
+     {"no-unseeded-rng"}, set()),
+    ("raw engine allowed in random.h", "src/common/random.h",
+     "std::mt19937_64 engine_;",
+     set(), set()),
+    ("unordered iteration", "src/core/bad.cc",
+     "struct S { std::unordered_map<int, int> m_;\n"
+     "  int F() { int s = 0; for (auto& kv : m_) s += kv.second;\n"
+     "            auto it = m_.begin(); return s; } };",
+     {"no-unordered-iteration"}, set()),
+    ("unordered lookup is fine", "src/core/ok.cc",
+     "struct S { std::unordered_map<int, int> m_;\n"
+     "  bool F(int k) const { return m_.find(k) != m_.end(); } };",
+     set(), set()),
+    ("raw mutex", "src/core/bad.cc",
+     "struct S { std::mutex mu_; };",
+     {"no-raw-sync-primitive"}, set()),
+    ("raw scoped locks and cv", "src/liveness/bad.cc",
+     "void F(std::mutex& m) { std::lock_guard<std::mutex> l(m); }\n"
+     "std::condition_variable cv; std::shared_mutex rw;\n"
+     "std::unique_lock<std::mutex> u; std::scoped_lock s;",
+     {"no-raw-sync-primitive"}, set()),
+    ("sync.h is allowlisted", "src/common/sync.h",
+     "class Mutex { std::mutex mu_; };\n"
+     "class CondVar { std::condition_variable cv_;\n"
+     "  void W() { std::unique_lock<std::mutex> l; } };",
+     set(), set()),
+    ("annotated wrappers are fine", "src/core/ok.cc",
+     "struct S { slp::Mutex mu_;\n"
+     "  void F() { slp::MutexLock lock(mu_); } };",
+     set(), set()),
+    ("banned tokens in comments/strings ignored", "src/core/ok.cc",
+     "// std::mutex assert( rand() SLP_CHECK(\n"
+     "/* std::lock_guard random_device */\n"
+     "const char* s = \"std::condition_variable mt19937\";",
+     set(), set()),
+    ("nested vector over baseline warns", "src/core/fresh.cc",
+     "std::vector<std::vector<int>> rows;",
+     set(), {"prefer-flat-layout"}),
+    ("nested vector outside core/match ok", "src/lp/fresh.cc",
+     "std::vector<std::vector<int>> rows;",
+     set(), set()),
+]
+
+
+def run_checks(path, code):
+    for check in ALL_CHECKS:
+        check(path, code)
+
+
+def self_test():
+    failures = []
+    for name, fake_path, snippet, want_findings, want_warnings in \
+            SELF_TEST_CASES:
+        FINDINGS.clear()
+        WARNINGS.clear()
+        path = pathlib.PurePosixPath(fake_path)
+        run_checks(path, strip_comments_and_strings(snippet))
+        got_findings = {f.split("[", 1)[1].split("]", 1)[0] for f in FINDINGS}
+        got_warnings = {w.split("[", 1)[1].split("]", 1)[0] for w in WARNINGS}
+        if got_findings != want_findings or got_warnings != want_warnings:
+            failures.append(
+                f"  {name}: expected findings {sorted(want_findings)} / "
+                f"warnings {sorted(want_warnings)}, got "
+                f"{sorted(got_findings)} / {sorted(got_warnings)}")
+    FINDINGS.clear()
+    WARNINGS.clear()
+    if failures:
+        print(f"lint.py --self-test: {len(failures)} case(s) FAILED")
+        for f in failures:
+            print(f)
+        return 1
+    print(f"lint.py --self-test: {len(SELF_TEST_CASES)} cases ok")
+    return 0
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
     if not src.is_dir():
@@ -207,11 +341,7 @@ def main():
     for path in files:
         code = strip_comments_and_strings(path.read_text())
         rel = path.relative_to(root)
-        check_asserts(rel, code)
-        check_slp_check(rel, code)
-        check_randomness(rel, code)
-        check_unordered_iteration(rel, code)
-        check_nested_vectors(rel, code)
+        run_checks(rel, code)
     if WARNINGS:
         print(f"lint.py: {len(WARNINGS)} warning(s) (non-fatal)")
         for w in WARNINGS:

@@ -65,6 +65,14 @@ using Handler = void (*)(const Violation&);
 // previous one. Passing nullptr restores the default (print + abort).
 // A non-default handler may return, in which case execution continues —
 // that is the recording-handler contract tests rely on.
+//
+// Concurrency contract (DESIGN.md §15): handler installation and handler
+// invocation are serialized on one internal mutex, so (a) SetFailureHandler
+// does not return while a previously installed handler is still executing
+// on another thread, and (b) a recording handler is never run by two
+// tripping threads at once — its internal state needs no synchronization
+// of its own. In exchange, a handler must not trip an audit or call
+// SetFailureHandler itself (the lock is not recursive).
 Handler SetFailureHandler(Handler handler);
 
 // Violations reported in `category` since the last ResetTripCounts().

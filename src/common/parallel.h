@@ -13,18 +13,36 @@
 //  3. No exceptions cross task boundaries (the library reports failures
 //     through Status; tasks must capture theirs into slots owned by the
 //     caller).
+//
+// The queue/completion protocol is expressed in thread-safety attributes
+// (DESIGN.md §15) rather than prose: the pool-level capability `mu_`
+// guards the job queue and the stop flag; each Job carries its own
+// capability `mu` guarding the completion count. Index claiming is the
+// one lock-free piece — see the memory-order note on Job::next.
+//
+// Shutdown contract: destroying the pool while jobs are queued or running
+// is safe *provided every in-flight ParallelFor call has exited its
+// queue-push critical section* — after that point the call touches only
+// its own Job, never a pool member. This is why cv_ is always notified
+// while mu_ is still held: the destructor's own mu_ acquisition then
+// serializes with any caller still inside the critical section, and a
+// caller past it has no pool access left to race with. Workers exit at
+// the next queue check; each in-flight ParallelFor caller then drains its
+// own job to completion by claiming the remaining indices itself, so
+// fn(i) still runs exactly once for every i
+// (ConcurrencyTest.ThreadPoolShutdownWhileQueued pins this).
 
 #ifndef SLP_COMMON_PARALLEL_H_
 #define SLP_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace slp {
 
@@ -42,12 +60,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() SLP_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
+      cv_.NotifyAll();  // under mu_, like every cv_ notify (see top comment)
     }
-    cv_.notify_all();
     for (auto& t : workers_) t.join();
   }
 
@@ -56,21 +74,27 @@ class ThreadPool {
   // Runs fn(0) .. fn(n-1), distributing indices over the pool workers and
   // the calling thread; returns when every index has completed. Safe to
   // call concurrently and from inside pool tasks.
-  void ParallelFor(int n, const std::function<void(int)>& fn) {
+  void ParallelFor(int n, const std::function<void(int)>& fn)
+      SLP_EXCLUDES(mu_) {
     if (n <= 0) return;
     if (n == 1 || workers_.empty()) {
       for (int i = 0; i < n; ++i) fn(i);
       return;
     }
     auto job = std::make_shared<Job>(n, &fn);
+    Job& j = *job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       jobs_.push_back(job);
+      // Notify while still holding mu_: once this critical section is
+      // released, the call touches no pool member (only its Job), which
+      // is the linchpin of the shutdown contract documented up top. The
+      // wakee re-blocking briefly on mu_ is the accepted price.
+      cv_.NotifyAll();
     }
-    cv_.notify_all();
-    RunJob(*job);  // the caller claims indices alongside the workers
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->done_cv.wait(lock, [&] { return job->completed == job->n; });
+    RunJob(j);  // the caller claims indices alongside the workers
+    MutexLock lock(j.mu);
+    while (j.completed != j.n) j.done_cv.Wait(j.mu);
   }
 
   // The process-wide pool: hardware_concurrency - 1 workers, but at least
@@ -88,10 +112,16 @@ class ThreadPool {
     Job(int count, const std::function<void(int)>* f) : n(count), fn(f) {}
     const int n;
     const std::function<void(int)>* fn;
+    // Index dispenser. Relaxed suffices: fetch_add only hands out unique
+    // indices — no data is published through `next`. Everything fn(i)
+    // writes is made visible to the ParallelFor caller by the mu-guarded
+    // `completed` handshake below (the final ++completed happens-after
+    // every fn(i) on that worker, and the caller reads completed == n
+    // under the same mutex).
     std::atomic<int> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    int completed = 0;
+    Mutex mu;
+    CondVar done_cv;
+    int completed SLP_GUARDED_BY(mu) = 0;
   };
 
   static void RunJob(Job& job) {
@@ -99,19 +129,21 @@ class ThreadPool {
       const int i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.n) return;
       (*job.fn)(i);
-      std::lock_guard<std::mutex> lock(job.mu);
-      if (++job.completed == job.n) job.done_cv.notify_all();
+      MutexLock lock(job.mu);
+      if (++job.completed == job.n) job.done_cv.NotifyAll();
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() SLP_EXCLUDES(mu_) {
     while (true) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && jobs_.empty()) cv_.Wait(mu_);
         if (stop_) return;
         job = jobs_.front();
+        // Relaxed read: a stale (smaller) value only means a finished job
+        // is popped one round later; claiming stays exact via fetch_add.
         if (job->next.load(std::memory_order_relaxed) >= job->n) {
           // Every index is claimed; drop the finished job and look again.
           jobs_.pop_front();
@@ -122,10 +154,12 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Job>> jobs_ SLP_GUARDED_BY(mu_);
+  bool stop_ SLP_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by the destructor; thread-
+  // confined to the owner, so deliberately unguarded.
   std::vector<std::thread> workers_;
 };
 

@@ -21,6 +21,17 @@
 // Orphans are re-placed by core::RepairEngine (src/core/repair.h); a
 // subscriber the ladder cannot place within constraints is parked
 // `degraded` with its violation quantified — no failure path aborts.
+//
+// Concurrency (DESIGN.md §15): the assigner is thread-confined to its
+// owning control thread — it carries no locks on purpose. Everything
+// below is a plain sequential mutation of assigner state; the only
+// parallelism it touches is *beneath* blocking calls (AddBatch candidate
+// builds and Reoptimize's SLP shards fan out over the shared ThreadPool
+// and join before returning, and those tasks write disjoint slots of
+// locals, never assigner members). Calling any method concurrently with
+// any other — including from a pool task — is a contract violation, not
+// a supported mode; the shared-capability layer (src/common/sync.h)
+// deliberately stops at the pool/memo/audit substrate.
 
 #ifndef SLP_CORE_DYNAMIC_H_
 #define SLP_CORE_DYNAMIC_H_

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "src/common/invariant.h"
 #include "src/common/parallel.h"
+#include "src/common/sync.h"
 #include "src/common/status.h"
 #include "src/core/audit.h"
 #include "src/core/candidates.h"
@@ -163,21 +163,21 @@ class SlpRunner {
         options_.slp1.filter_assign.deadline.expired()) {
       if (static_cast<int>(subs.size()) > options_.gamma &&
           stats_ != nullptr) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_->any_budget_exhausted = true;
       }
       target_of = GreedyPartition(targets);
     } else {
       // One SLP1 stage over the child subtrees.
       if (stats_ != nullptr) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_->slp1_invocations;
       }
       Result<FilterAssignResult> fa =
           FilterAssign(problem_, targets, options_.slp1.filter_assign, rng);
       if (!fa.ok()) return fa.status();
       if (stats_ != nullptr) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stats_->lp_calls += fa.value().lp_calls;
         stats_->any_budget_exhausted |= fa.value().budget_exhausted;
       }
@@ -190,7 +190,7 @@ class SlpRunner {
           options_.slp1.subscription_assign);
       if (!sa.ok()) return sa.status();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         solution->load_feasible &= sa.value().load_feasible;
       }
       target_of = sa.value().target_of;
@@ -255,10 +255,18 @@ class SlpRunner {
   const SaProblem& problem_;
   const SlpOptions options_;
   Rng& rng_;
-  SlpStats* stats_;
+  // The pointer is set once at construction (may be null); the pointee is
+  // mutated by concurrent subtree tasks and therefore guarded.
+  SlpStats* stats_ SLP_PT_GUARDED_BY(mu_);
+  // Written by concurrent subtree tasks at *disjoint* leaf indices into a
+  // pre-sized vector (never resized during the recursion) — data-race-free
+  // by index disjointness, which the type system cannot express; see the
+  // pre-sizing note in Run().
   std::vector<geo::Filter> preliminary_leaf_filters_;
-  // Guards stats_ and SaSolution flag updates from concurrent subtrees.
-  std::mutex mu_;
+  // Guards the stats_ pointee and SaSolution flag updates from concurrent
+  // subtrees (the SaSolution is a caller-owned out-param, so its guarded
+  // fields cannot carry the annotation themselves).
+  Mutex mu_;
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "src/geometry/volume_memo.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace slp::geo {
@@ -49,30 +50,30 @@ double VolumeMemo::UnionVolume(const Filter& f) {
   }
   hash.Finalize();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = cache_.find(hash.primary);
     if (it != cache_.end() && it->second.check == hash.secondary) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.volume;
     }
-    ++misses_;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   const double volume = f.UnionVolume();
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   if (cache_.size() >= kMaxEntries) cache_.clear();
   cache_[hash.primary] = Entry{hash.secondary, volume};
   return volume;
 }
 
 void VolumeMemo::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   cache_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 size_t VolumeMemo::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return cache_.size();
 }
 

@@ -12,17 +12,22 @@
 // requires both to collide (~2^-128 per pair of distinct filters), far
 // below floating-point noise in any downstream use.
 //
-// Thread-safe: a single mutex guards the table. The volume computation
+// Thread-safe: a reader/writer lock guards the table — lookups (the hot
+// path, hit-dominated once the working set is cached) share the lock;
+// only insertions and Clear() take it exclusively. The volume computation
 // itself runs outside the lock, so concurrent misses on distinct filters
-// do not serialize the geometry work.
+// do not serialize the geometry work. The hit/miss counters are relaxed
+// atomics so the read path stays shared (memory-order note at the
+// declarations).
 
 #ifndef SLP_GEOMETRY_VOLUME_MEMO_H_
 #define SLP_GEOMETRY_VOLUME_MEMO_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "src/common/sync.h"
 #include "src/geometry/filter.h"
 
 namespace slp::geo {
@@ -35,12 +40,12 @@ class VolumeMemo {
 
   // Exact union volume of `f`, served from the table when the identical
   // rectangle sequence has been seen before.
-  double UnionVolume(const Filter& f);
+  double UnionVolume(const Filter& f) SLP_EXCLUDES(mu_);
 
-  void Clear();
-  size_t size() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  void Clear() SLP_EXCLUDES(mu_);
+  size_t size() const SLP_EXCLUDES(mu_);
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
   // Process-wide instance used by the metric and dynamic-assignment paths.
   static VolumeMemo& Global();
@@ -55,10 +60,17 @@ class VolumeMemo {
   // working set of live broker filters is far smaller.
   static constexpr size_t kMaxEntries = 1 << 20;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable SharedMutex mu_;
+  std::unordered_map<uint64_t, Entry> cache_ SLP_GUARDED_BY(mu_);
+  // Monotonic statistics, bumped under the shared lock. Relaxed on both
+  // sides: the counters order no other data — a reader only needs *a*
+  // recent total, and tests that assert exact counts read them after the
+  // fork-join barrier of the pool, which already provides the
+  // happens-before edge. (Before these were atomics, hits()/misses() read
+  // plain uint64_t fields without the lock — a genuine data race, caught
+  // by ConcurrencyTest.VolumeMemoStatsReadDuringInserts under TSan.)
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace slp::geo

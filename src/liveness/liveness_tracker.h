@@ -48,6 +48,16 @@
 // or its leaf is suspect/held/silent, the lease is frozen at now. A crowd
 // of orphans never mass-expires just because their leaf crashed.
 //
+// Concurrency (DESIGN.md §15): the tracker is deliberately NOT a shared
+// capability — it is thread-confined to the control loop that owns it
+// (the replay driver, or a deployment's single control thread), the same
+// confinement domain as the DynamicAssigner it mutates. Nothing here may
+// be called from pool workers; the pool parallelism the tracker triggers
+// indirectly (a death → repair → Reoptimize → SLP shards) happens *below*
+// a blocking call, after which control returns to the single owner. That
+// confinement, not a lock, is the contract — so the class carries no
+// mutex and the thread-safety analysis has nothing to check here.
+//
 // Suspicion-aware placement: when suspect_blocks_placement is set the
 // tracker installs a placement veto on the assigner (suspect leaves stop
 // receiving new placements; see DynamicAssigner::set_placement_veto for

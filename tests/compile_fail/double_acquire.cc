@@ -1,0 +1,35 @@
+// Negative-compile TU — violation class 3: acquiring a non-reentrant
+// mutex that is already held.
+//
+// Default build: clang's thread-safety analysis must REJECT this file
+// ("acquiring mutex ... that is already held" — at runtime this would be
+// a deadlock or UB on std::mutex). With -DSLP_COMPILE_FAIL_FIXED the
+// corrected variant must be accepted. Registered by
+// tests/compile_fail/CMakeLists.txt; never linked or run.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Inbox {
+ public:
+  void Deliver(int v) {
+    slp::MutexLock lock(mu_);
+#if !defined(SLP_COMPILE_FAIL_FIXED)
+    slp::MutexLock again(mu_);  // BAD: mu_ is already held by `lock`
+#endif
+    last_ = v;
+  }
+
+ private:
+  slp::Mutex mu_;
+  int last_ SLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Inbox i;
+  i.Deliver(7);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Negative-compile TU — violation class 4: acquiring two annotated
+// mutexes against their declared SLP_ACQUIRED_BEFORE order (the classic
+// ABBA deadlock, caught by -Wthread-safety-beta).
+//
+// Default build: clang must REJECT this file ("... must be acquired
+// before ..."). With -DSLP_COMPILE_FAIL_FIXED the corrected variant must
+// be accepted. Registered by tests/compile_fail/CMakeLists.txt; never
+// linked or run.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Router {
+ public:
+  // The declared protocol: topology before stats, everywhere.
+  void UpdateTopology() {
+    slp::MutexLock topo(topo_mu_);
+    slp::MutexLock stats(stats_mu_);
+    ++version_;
+    ++updates_;
+  }
+
+  void RecordProbe() {
+#if !defined(SLP_COMPILE_FAIL_FIXED)
+    slp::MutexLock stats(stats_mu_);
+    slp::MutexLock topo(topo_mu_);  // BAD: inverts the declared order
+#else
+    slp::MutexLock topo(topo_mu_);
+    slp::MutexLock stats(stats_mu_);
+#endif
+    ++version_;
+    ++updates_;
+  }
+
+ private:
+  slp::Mutex topo_mu_ SLP_ACQUIRED_BEFORE(stats_mu_);
+  slp::Mutex stats_mu_;
+  int version_ SLP_GUARDED_BY(topo_mu_) = 0;
+  long updates_ SLP_GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Router r;
+  r.UpdateTopology();
+  r.RecordProbe();
+  return 0;
+}

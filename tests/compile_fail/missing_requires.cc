@@ -1,0 +1,37 @@
+// Negative-compile TU — violation class 2: calling an SLP_REQUIRES
+// function without holding the required mutex.
+//
+// Default build: clang's thread-safety analysis must REJECT this file
+// ("calling function ... requires holding mutex"). With
+// -DSLP_COMPILE_FAIL_FIXED the corrected variant must be accepted.
+// Registered by tests/compile_fail/CMakeLists.txt; never linked or run.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void Post(long delta) {
+#if defined(SLP_COMPILE_FAIL_FIXED)
+    slp::MutexLock lock(mu_);
+    ApplyLocked(delta);
+#else
+    ApplyLocked(delta);  // BAD: callee assumes mu_ held, caller holds nothing
+#endif
+  }
+
+ private:
+  void ApplyLocked(long delta) SLP_REQUIRES(mu_) { balance_ += delta; }
+
+  slp::Mutex mu_;
+  long balance_ SLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.Post(1);
+  return 0;
+}

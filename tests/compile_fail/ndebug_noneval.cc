@@ -1,0 +1,38 @@
+// Compile-time pin of the SLP_DCHECK / SLP_INVARIANT build-type contract
+// (DESIGN.md §10): under NDEBUG the checked expression is swallowed
+// *unevaluated*, so it may be arbitrarily expensive but must be
+// side-effect free.
+//
+// The proof is a constant-expression probe: Div(1, 0) is a
+// constant-evaluation ERROR if and only if it is actually evaluated.
+// Compiled with -DNDEBUG (expect-pass, any compiler) the static_asserts
+// below must hold — the macros never touch the expression. Compiled
+// without NDEBUG (expect-fail) the same TU must be rejected, pinning the
+// other half of the contract: debug builds really do evaluate the check.
+// Registered by tests/compile_fail/CMakeLists.txt; never linked or run.
+
+#include "src/common/invariant.h"
+
+namespace {
+
+constexpr int Div(int a, int b) { return a / b; }
+
+constexpr bool DcheckDoesNotEvaluate() {
+  SLP_DCHECK(Div(1, 0) == 1);
+  return true;
+}
+
+constexpr bool InvariantDoesNotEvaluate() {
+  SLP_INVARIANT(::slp::audit::Category::kNesting, Div(2, 0) == 2,
+                "never evaluated");
+  return true;
+}
+
+static_assert(DcheckDoesNotEvaluate(),
+              "SLP_DCHECK evaluated its expression under NDEBUG");
+static_assert(InvariantDoesNotEvaluate(),
+              "SLP_INVARIANT evaluated its expression under NDEBUG");
+
+}  // namespace
+
+int main() { return 0; }

@@ -1,0 +1,36 @@
+// Negative-compile TU — violation class 5: releasing a mutex on a path
+// that never acquired it (at runtime, UB on std::mutex).
+//
+// Default build: clang's thread-safety analysis must REJECT this file
+// ("releasing mutex ... that was not held"). With
+// -DSLP_COMPILE_FAIL_FIXED the corrected variant must be accepted.
+// Registered by tests/compile_fail/CMakeLists.txt; never linked or run.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Gate {
+ public:
+  void Close() {
+#if !defined(SLP_COMPILE_FAIL_FIXED)
+    mu_.Unlock();  // BAD: this path never locked mu_
+#else
+    mu_.Lock();
+    closed_ = true;
+    mu_.Unlock();
+#endif
+  }
+
+ private:
+  slp::Mutex mu_;
+  bool closed_ SLP_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  g.Close();
+  return 0;
+}

@@ -1,0 +1,47 @@
+# Runs one compile probe for the negative-compile harness
+# (tests/compile_fail/CMakeLists.txt). Invoked by ctest as
+#   cmake -DCOMPILE_COMMAND=<compiler|flag|flag...> -DSRC=<tu>
+#         -DMODE=fail|pass [-DEXPECT_RE=<regex>] -P run_compile_check.cmake
+#
+# MODE=pass: the TU must compile cleanly (exit 0).
+# MODE=fail: the TU must be REJECTED, and stderr must match EXPECT_RE —
+# so a test cannot go green by failing for an unrelated reason (a typo'd
+# include, a syntax error) instead of the violation class it pins.
+#
+# COMPILE_COMMAND is '|'-joined because add_test quoting mangles CMake
+# ;-lists inside a single argument.
+
+foreach(required COMPILE_COMMAND SRC MODE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_compile_check.cmake: missing -D${required}")
+  endif()
+endforeach()
+
+string(REPLACE "|" ";" _cmd "${COMPILE_COMMAND}")
+execute_process(
+  COMMAND ${_cmd} ${SRC}
+  RESULT_VARIABLE _rc
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err)
+
+if(MODE STREQUAL "pass")
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to compile, but it was rejected:\n${_err}")
+  endif()
+elseif(MODE STREQUAL "fail")
+  if(_rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected ${SRC} to be rejected, but it compiled cleanly — "
+            "the analysis has lost its teeth for this violation class")
+  endif()
+  if(DEFINED EXPECT_RE AND NOT EXPECT_RE STREQUAL "")
+    if(NOT _err MATCHES "${EXPECT_RE}")
+      message(FATAL_ERROR
+              "${SRC} was rejected for the wrong reason — wanted stderr "
+              "matching '${EXPECT_RE}', got:\n${_err}")
+    endif()
+  endif()
+else()
+  message(FATAL_ERROR "run_compile_check.cmake: unknown MODE '${MODE}'")
+endif()

@@ -1,0 +1,40 @@
+// Negative-compile TU — violation class 1: unguarded read of an
+// SLP_GUARDED_BY member.
+//
+// Default build: clang's thread-safety analysis must REJECT this file
+// ("reading variable ... requires holding mutex"). With
+// -DSLP_COMPILE_FAIL_FIXED the corrected variant must be accepted.
+// Registered by tests/compile_fail/CMakeLists.txt; never linked or run.
+
+#include "src/common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    slp::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  long Read() const {
+#if defined(SLP_COMPILE_FAIL_FIXED)
+    slp::MutexLock lock(mu_);
+    return value_;
+#else
+    return value_;  // BAD: reads value_ without holding mu_
+#endif
+  }
+
+ private:
+  mutable slp::Mutex mu_;
+  long value_ SLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return static_cast<int>(c.Read());
+}

@@ -1,0 +1,209 @@
+// Runtime companions of the compile-time concurrency contracts
+// (DESIGN.md §15): seeded multi-thread stress over the capability-guarded
+// substrate — VolumeMemo under concurrent identical-content insert/lookup,
+// ThreadPool shutdown while jobs are queued, and failure-handler
+// installation racing pool workers that trip audits. All of these run in
+// the TSan CI lane via ordinary suite membership; two of them are
+// regression tests for data races the annotation pass flushed out
+// (unlocked VolumeMemo stat reads; handler swap during an in-flight trip).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/invariant.h"
+#include "src/common/parallel.h"
+#include "src/common/random.h"
+#include "src/geometry/filter.h"
+#include "src/geometry/rectangle.h"
+#include "src/geometry/volume_memo.h"
+
+namespace slp {
+namespace {
+
+geo::Filter RandomFilter(Rng& rng, int rects) {
+  std::vector<geo::Rectangle> rs;
+  rs.reserve(rects);
+  for (int r = 0; r < rects; ++r) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 100);
+    rs.push_back(geo::Rectangle({x, y}, {x + rng.Uniform(0.1, 20),
+                                         y + rng.Uniform(0.1, 20)}));
+  }
+  return geo::Filter(std::move(rs));
+}
+
+// Seeded stress: many threads hammer ONE memo with a small set of
+// filters, so concurrent lookups and inserts of identical content hashes
+// collide constantly. Every answer must equal the serial ground truth,
+// and the hit/miss accounting must add up exactly.
+TEST(ConcurrencyTest, VolumeMemoConcurrentIdenticalContent) {
+  Rng rng(20260809);
+  constexpr int kFilters = 16;
+  constexpr int kShards = 8;
+  constexpr int kRounds = 200;
+
+  std::vector<geo::Filter> filters;
+  std::vector<double> expected;
+  for (int i = 0; i < kFilters; ++i) {
+    filters.push_back(RandomFilter(rng, 1 + i % 6));
+    expected.push_back(filters.back().UnionVolume());
+  }
+
+  geo::VolumeMemo memo;
+  std::atomic<int> mismatches{0};
+  ThreadPool::Global().ParallelFor(kShards, [&](int s) {
+    for (int round = 0; round < kRounds; ++round) {
+      // Shard-dependent order => lookups and inserts interleave across
+      // shards on the same keys.
+      const int i = (round * (s + 1) + s) % kFilters;
+      if (memo.UnionVolume(filters[i]) != expected[i]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Exactly one table entry per distinct filter, however the races fell.
+  EXPECT_EQ(memo.size(), static_cast<size_t>(kFilters));
+  // Every call either hit or missed; duplicate concurrent misses on the
+  // same key are legal (both compute, both insert the same value), so
+  // misses >= kFilters rather than ==.
+  EXPECT_EQ(memo.hits() + memo.misses(),
+            static_cast<uint64_t>(kShards) * kRounds);
+  EXPECT_GE(memo.misses(), static_cast<uint64_t>(kFilters));
+}
+
+// Regression (TSan): hits()/misses()/size() used to read non-atomic
+// counters without the lock; concurrent stat polling while another thread
+// populates the memo was a data race.
+TEST(ConcurrencyTest, VolumeMemoStatsReadDuringInserts) {
+  Rng rng(7);
+  constexpr int kFilters = 64;
+  std::vector<geo::Filter> filters;
+  for (int i = 0; i < kFilters; ++i) filters.push_back(RandomFilter(rng, 3));
+
+  geo::VolumeMemo memo;
+  std::atomic<bool> done{false};
+  uint64_t observed = 0;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed += memo.hits() + memo.misses() + memo.size();
+    }
+  });
+  ThreadPool::Global().ParallelFor(4, [&](int s) {
+    for (int i = 0; i < kFilters; ++i) {
+      (void)memo.UnionVolume(filters[(i + s) % kFilters]);
+    }
+  });
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_EQ(memo.hits() + memo.misses(), static_cast<uint64_t>(4 * kFilters));
+}
+
+// Destroying the pool while jobs are queued must still run fn(i) exactly
+// once for every i: workers exit at the next queue check and each
+// in-flight ParallelFor caller drains its own job (the documented
+// shutdown contract in parallel.h).
+TEST(ConcurrencyTest, ThreadPoolShutdownWhileQueued) {
+  constexpr int kCallers = 4;
+  constexpr int kIndices = 96;
+
+  auto pool = std::make_unique<ThreadPool>(3);
+  // Callers go through a raw pointer captured before they spawn: the
+  // contract under test is destruction of the *pool*, not concurrent
+  // mutation of the owning unique_ptr.
+  ThreadPool* p = pool.get();
+  std::vector<std::unique_ptr<std::atomic<int>>> runs;
+  for (int i = 0; i < kCallers * kIndices; ++i) {
+    runs.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  // past_pool[c] == the caller is provably past ParallelFor's queue-push
+  // critical section — the point after which it touches no pool member
+  // (the supported shutdown window; see parallel.h). Two ways to prove
+  // it: fn ran on the caller's own thread (the caller is inside RunJob),
+  // or ParallelFor returned entirely (workers drained the job first).
+  std::atomic<bool> past_pool[kCallers] = {};
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      const std::thread::id me = std::this_thread::get_id();
+      p->ParallelFor(kIndices, [&, c, me](int i) {
+        if (std::this_thread::get_id() == me) {
+          past_pool[c].store(true, std::memory_order_relaxed);
+        }
+        runs[c * kIndices + i]->fetch_add(1, std::memory_order_relaxed);
+      });
+      past_pool[c].store(true, std::memory_order_relaxed);
+    });
+  }
+  for (int c = 0; c < kCallers; ++c) {
+    while (!past_pool[c].load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+  }
+  pool.reset();  // stop + join workers while plenty of indices remain
+  for (auto& t : callers) t.join();
+
+  for (const auto& r : runs) {
+    ASSERT_EQ(r->load(), 1) << "an index ran zero or multiple times";
+  }
+}
+
+std::atomic<long> g_recorded_a{0};
+std::atomic<long> g_recorded_b{0};
+void RecordA(const audit::Violation&) {
+  g_recorded_a.fetch_add(1, std::memory_order_relaxed);
+}
+void RecordB(const audit::Violation&) {
+  g_recorded_b.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Regression (TSan): installing a failure handler while pool workers trip
+// audits. SetFailureHandler and handler invocation are serialized on one
+// mutex, so the swap cannot land mid-invocation and every trip runs
+// exactly one of the two recording handlers.
+TEST(ConcurrencyTest, HandlerInstallWhileWorkersTrip) {
+  constexpr int kTrips = 400;
+  constexpr int kSwaps = 200;
+
+  g_recorded_a.store(0);
+  g_recorded_b.store(0);
+  audit::ResetTripCounts();
+  audit::Handler prev = audit::SetFailureHandler(&RecordA);
+
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps && !done.load(std::memory_order_relaxed);
+         ++i) {
+      audit::SetFailureHandler(i % 2 == 0 ? &RecordB : &RecordA);
+      std::this_thread::yield();
+    }
+    // Leave a recording handler installed until the workers finish.
+    audit::SetFailureHandler(&RecordA);
+  });
+
+  ThreadPool::Global().ParallelFor(4, [&](int) {
+    for (int i = 0; i < kTrips / 4; ++i) {
+      SLP_AUDIT_CHECK(audit::Category::kDcheck, false,
+                      "concurrency_test deliberate trip");
+    }
+  });
+  done.store(true, std::memory_order_relaxed);
+  swapper.join();
+
+  EXPECT_EQ(audit::trip_count(audit::Category::kDcheck), kTrips);
+  EXPECT_EQ(g_recorded_a.load() + g_recorded_b.load(), kTrips);
+
+  audit::SetFailureHandler(prev);
+  audit::ResetTripCounts();
+}
+
+}  // namespace
+}  // namespace slp
